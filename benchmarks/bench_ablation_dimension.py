@@ -1,0 +1,53 @@
+"""A8 ablation — frequency-bin entanglement vs dimension (extension).
+
+The paper's introduction motivates "frequency multiplexing to enable high
+dimensional multi-user operation"; the follow-up work (Kues et al.,
+Nature 546, 622, 2017) realised photon pairs entangled over d comb-line
+pairs.  The bench sweeps d on the simulated comb: certified entanglement
+dimensionality, d-slit fringe sharpening and the log₂(d) key-rate payoff.
+"""
+
+import numpy as np
+
+from repro.core.device import hydex_ring_high_q
+from repro.extensions.frequency_bin import FrequencyBinScheme
+from repro.utils.tables import format_table
+
+
+def _sweep():
+    device = hydex_ring_high_q(num_tracked_pairs=7)
+    dimensions = [2, 3, 4, 5, 6]
+    certified = []
+    sharpness = []
+    key_bits = []
+    for d in dimensions:
+        scheme = FrequencyBinScheme(dimension=d, device=device)
+        certified.append(scheme.certified_dimension())
+        sharpness.append(scheme.fringe_sharpness())
+        key_bits.append(scheme.key_rate_factor())
+    return dimensions, certified, np.array(sharpness), key_bits
+
+
+def bench_ablation_dimension(benchmark):
+    dims, certified, sharpness, key_bits = benchmark.pedantic(
+        _sweep, rounds=1, iterations=1
+    )
+    rows = [
+        [d, c, round(float(s), 3), round(k, 2)]
+        for d, c, s, k in zip(dims, certified, sharpness, key_bits)
+    ]
+    print()
+    print(format_table(
+        ["dimension", "certified dim", "fringe FWHM / period", "bits/coinc"],
+        rows, title="A8: high-dimensional frequency-bin scaling",
+    ))
+    # At the calibrated visibility the full dimension is certified up to
+    # d=4 (the follow-up paper's regime)...
+    assert certified[2] == 4
+    # ...while the witness starts losing ground at higher d, as white
+    # noise scales with d^2 against a fidelity threshold of ~(d-1)/d.
+    assert all(c >= 2 for c in certified)
+    # d-slit fringes sharpen monotonically with dimension.
+    assert np.all(np.diff(sharpness) < 0)
+    # And each coincidence carries log2(d) bits.
+    assert key_bits == [1.0, np.log2(3), 2.0, np.log2(5), np.log2(6)]

@@ -1,0 +1,63 @@
+"""A2 ablation — measured linewidth vs detector jitter.
+
+Design question (Section II): the paper says the 110 MHz measurement is
+"consistent with the linewidth of the ring resonator (considering the
+time jitter of the detectors)".  How much jitter can the measurement
+tolerate before the deconvolution becomes unreliable?
+"""
+
+import math
+
+import numpy as np
+
+from repro.detection.spd import DetectorModel
+from repro.detection.tdc import TimeToDigitalConverter
+from repro.detection.timetags import BiphotonSource
+from repro.utils.fitting import fit_coincidence_peak
+from repro.utils.rng import RandomStream
+from repro.utils.tables import format_table
+
+LINEWIDTH = 110e6
+
+
+def _measure(jitter_sigma: float, seed: int = 0) -> float:
+    rng = RandomStream(seed, label=f"jitter{jitter_sigma}")
+    source = BiphotonSource(pair_rate_hz=50_000.0, linewidth_hz=LINEWIDTH)
+    duration = 20.0
+    pairs = source.generate(duration, rng.child("pairs"))
+    detector = DetectorModel(
+        efficiency=0.5, dark_count_rate_hz=0.0,
+        jitter_sigma_s=jitter_sigma, dead_time_s=0.0,
+    )
+    signal = detector.detect(pairs.signal_times_s, duration, rng.child("s"))
+    idler = detector.detect(pairs.idler_times_s, duration, rng.child("i"))
+    tdc = TimeToDigitalConverter(bin_width_s=81e-12)
+    centres, counts = tdc.delay_histogram(signal, idler, max_delay_s=10e-9)
+    fit = fit_coincidence_peak(
+        centres, counts, math.sqrt(2.0) * jitter_sigma, fix_jitter=True
+    )
+    return fit.linewidth_hz
+
+
+def _sweep():
+    jitters = [50e-12, 120e-12, 300e-12, 600e-12, 1.2e-9]
+    return jitters, [_measure(j) for j in jitters]
+
+
+def bench_ablation_jitter(benchmark):
+    jitters, recovered = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = [
+        [j * 1e12, r / 1e6, abs(r - LINEWIDTH) / LINEWIDTH]
+        for j, r in zip(jitters, recovered)
+    ]
+    print()
+    print(format_table(
+        ["jitter sigma [ps]", "recovered [MHz]", "relative error"],
+        rows, title="A2: linewidth recovery vs detector jitter",
+    ))
+    errors = np.array([abs(r - LINEWIDTH) / LINEWIDTH for r in recovered])
+    # At the experiment's ~120 ps jitter the recovery is accurate...
+    assert errors[1] < 0.05
+    # ...and stays usable even at jitter comparable to the coherence time,
+    # *because* the fit deconvolves a known jitter (the paper's point).
+    assert errors[-1] < 0.25

@@ -1,0 +1,37 @@
+"""A7 ablation — heralded purity vs pump-bandwidth / linewidth ratio.
+
+Design question (Sections II & V): the paper needs "pure single photons"
+(II) and photons with "the same bandwidth as the pump field" (V).  Both
+hinge on the joint spectral amplitude factorising, which happens when the
+pump envelope is broad compared to the ring resonance.  The bench
+regenerates Schmidt purity vs the bandwidth ratio.
+"""
+
+import numpy as np
+
+from repro.core.device import hydex_ring_high_q
+from repro.photonics.jsa import purity_vs_pump_bandwidth
+from repro.utils.tables import format_table
+
+
+def _sweep():
+    device = hydex_ring_high_q()
+    ratios = np.array([0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0])
+    purities = purity_vs_pump_bandwidth(device.ring, ratios, grid_points=81)
+    return ratios, purities
+
+
+def bench_ablation_purity(benchmark):
+    ratios, purities = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = [[float(r), round(p, 4)] for r, p in zip(ratios, purities)]
+    print()
+    print(format_table(
+        ["pump BW / ring linewidth", "heralded purity"],
+        rows, title="A7: heralded purity vs pump bandwidth",
+    ))
+    # Purity rises monotonically with the bandwidth ratio...
+    assert np.all(np.diff(purities) > 0)
+    # ...from a clearly multimode CW-like regime...
+    assert purities[0] < 0.75
+    # ...to the near-unity single-Schmidt-mode regime of the pulsed pump.
+    assert purities[-1] > 0.99

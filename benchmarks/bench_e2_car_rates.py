@@ -1,0 +1,20 @@
+"""E2 bench — regenerate the Section II per-channel CAR / rate table.
+
+Paper shape: CAR between 12.8 and 32.4 and pair rates between 14 and
+29 Hz per channel, simultaneously on 5 channel pairs at 15 mW.
+"""
+
+from repro.experiments import car_rates
+
+
+def bench_e2_car_rates(run_once):
+    result = run_once(car_rates.run, seed=0, quick=False)
+    # CAR band: same order and spread as the paper's 12.8-32.4.
+    assert 10.0 < result.metric("car_min") < 18.0
+    assert 24.0 < result.metric("car_max") < 42.0
+    assert result.metric("car_max") > 2.0 * result.metric("car_min")
+    # Rate band: overlaps the paper's 14-29 Hz.
+    assert 11.0 < result.metric("rate_min_hz") < 18.0
+    assert 22.0 < result.metric("rate_max_hz") < 34.0
+    # All five channels measured simultaneously.
+    assert result.metric("num_channels") == 5.0

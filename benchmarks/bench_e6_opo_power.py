@@ -1,0 +1,17 @@
+"""E6 bench — regenerate the Section III OPO transfer curve.
+
+Paper shape: output grows quadratically with pump power up to the OPO
+threshold at 14 mW, then linearly.
+"""
+
+from repro.experiments import opo_power
+
+
+def bench_e6_opo_power(run_once):
+    result = run_once(opo_power.run, seed=0, quick=False)
+    # Quadratic below threshold.
+    assert abs(result.metric("exponent_below_threshold") - 2.0) < 0.15
+    # Linear above threshold (relative residual of the line fit small).
+    assert result.metric("linear_fit_relative_rms") < 0.06
+    # Threshold where the paper puts it.
+    assert abs(result.metric("threshold_estimate_mw") - 14.0) < 1.5

@@ -1,0 +1,29 @@
+"""Benchmark harness configuration.
+
+Each ``bench_e*.py`` file regenerates one table/figure of the paper at
+full statistics, prints the regenerated rows (run pytest with ``-s`` to
+see them) and asserts the *shape* of the result against the published
+claim.  ``benchmark.pedantic(..., rounds=1)`` is used throughout because
+each experiment is itself a long Monte-Carlo run — wall-clock per run is
+the meaningful figure, not micro-timing statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment driver exactly once under the benchmark timer
+    and print its regenerated table."""
+
+    def runner(driver, **kwargs):
+        result = benchmark.pedantic(
+            lambda: driver(**kwargs), rounds=1, iterations=1
+        )
+        print()
+        print(result.to_text())
+        return result
+
+    return runner

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Scenario: building and tomographing the four-photon entangled state.
+
+Section V combines two Bell pairs from four comb modes into a four-photon
+product state, certifies it by four-photon interference (89 % visibility)
+and quantum state tomography (64 % fidelity).  This example reproduces
+the whole pipeline and shows *why* the tomography fidelity is so much
+lower than the interference visibility: 81 measurement settings, each
+with its own analyser misalignment, at low four-fold rates.
+
+Run:  python examples/four_photon_states.py
+"""
+
+import numpy as np
+
+from repro import QuantumCombSource
+from repro.experiments.tomography_fidelity import simulate_counts_with_phase_errors
+from repro.quantum.qubits import two_bell_pairs
+from repro.quantum.tomography import mle_tomography
+from repro.timebin.fringes import FringeScan
+from repro.utils.rng import RandomStream
+from repro.utils.tables import format_table, sparkline
+
+
+def main() -> None:
+    source = QuantumCombSource.paper_device()
+    scheme = source.multi_photon_scheme()
+    rng = RandomStream(seed=9, label="four-photon-example")
+
+    state = scheme.four_photon_state()
+    print("Four-photon state from two Bell pairs (modes ±1, ±2)")
+    print(f"  white-noise weight : {scheme.calibration.state_visibility:.2f}")
+    print(f"  purity             : {state.purity():.3f}\n")
+
+    print("Four-photon quantum interference (all analysers at phase φ):")
+    scan = FringeScan(
+        state=state,
+        event_rate_hz=scheme.calibration.fourfold_event_rate_hz,
+        dwell_time_s=scheme.calibration.dwell_time_s,
+        scanned_photon=None,
+        controller=scheme.phase_controller(),
+    )
+    result = scan.run(rng.child("fringe"))
+    print(f"  four-fold fringe    : {sparkline(result.counts)}")
+    print(f"  visibility          : {result.visibility:.3f} "
+          f"± {result.visibility_error:.3f}   (paper: 0.89)")
+    print("  note the two full periods per 2π scan — the doubled fringe")
+    print("  frequency is the four-photon signature.\n")
+
+    print("Quantum state tomography (81 settings, MLE reconstruction):")
+    rows = []
+    ideal = two_bell_pairs()
+    for sigma, label in [
+        (0.0, "perfect analysers"),
+        (scheme.calibration.setting_phase_sigma_rad, "calibrated misalignment"),
+    ]:
+        counts = simulate_counts_with_phase_errors(
+            state,
+            scheme.calibration.tomography_shots_per_setting,
+            sigma,
+            rng.child(f"tomo{sigma}"),
+        )
+        reconstruction = mle_tomography(counts, 4, max_iterations=200)
+        rows.append(
+            [
+                label,
+                f"{sigma:.2f}",
+                f"{reconstruction.fidelity(ideal):.3f}",
+                reconstruction.iterations,
+            ]
+        )
+    print(
+        format_table(
+            ["analysers", "phase error [rad]", "fidelity vs Bell⊗Bell", "MLE iters"],
+            rows,
+        )
+    )
+    print(
+        "\nWith perfect analysers the fidelity is limited only by the"
+        "\nsource noise (~0.83); realistic per-setting misalignment drags it"
+        "\nto the paper's ~0.64 — 'close to the ideal case' but visibly"
+        "\nmeasurement-limited."
+    )
+
+    print("\nScaling outlook (paper: 'multiple and large entangled states'):")
+    for pairs in (1, 2, 3):
+        efficiency = (1.0 / 4.0) ** (2 * pairs)
+        print(f"  {pairs} Bell pair(s): {2 * pairs} photons, post-selection "
+              f"keeps {efficiency:.1e} of events")
+    print("  -> rates fall geometrically; four photons is the practical"
+          " limit of the published setup.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Scenario: qualifying the comb as a multiplexed heralded-photon source.
+
+A quantum-network engineer wants to know, channel by channel, whether the
+comb delivers heralded single photons good enough for a quantum memory:
+coincidence rate, CAR, heralded g²(0) (single-photon purity) and the
+photon linewidth versus the memory's ~100 MHz acceptance.
+
+This walks the full Section II measurement chain on simulated hardware.
+
+Run:  python examples/heralded_single_photons.py
+"""
+
+import math
+
+from repro import QuantumCombSource
+from repro.detection.coincidence import car_from_tags
+from repro.detection.herald import heralded_g2_from_tags, split_on_beamsplitter
+from repro.detection.tdc import TimeToDigitalConverter
+from repro.utils.fitting import fit_coincidence_peak
+from repro.utils.rng import RandomStream
+from repro.utils.tables import format_table
+
+MEMORY_ACCEPTANCE_HZ = 100e6  # typical atomic-memory bandwidth
+
+
+def main() -> None:
+    source = QuantumCombSource.paper_device()
+    scheme = source.heralded_scheme()
+    rng = RandomStream(seed=7, label="heralded-example")
+    duration_s = 60.0
+
+    print("Qualifying the heralded source, channel pair by channel pair\n")
+    rows = []
+    for order in range(1, scheme.calibration.num_channel_pairs + 1):
+        signal, idler = scheme.detected_streams(order, duration_s, rng)
+        car = car_from_tags(
+            signal, idler, duration_s,
+            window_s=scheme.calibration.coincidence_window_s,
+        )
+        # Split the signal arm on a 50/50 to measure heralded g2(0).
+        arm1, arm2 = split_on_beamsplitter(signal, rng.child(f"bs{order}"))
+        g2 = heralded_g2_from_tags(
+            idler, arm1, arm2, window_s=scheme.calibration.coincidence_window_s
+        )
+        rows.append(
+            [
+                f"±{order}",
+                round(car.true_coincidence_rate_hz, 1),
+                round(car.car, 1),
+                f"{g2:.3f}",
+                "yes" if g2 < 0.5 else "no",
+            ]
+        )
+    print(
+        format_table(
+            ["channel", "pair rate [Hz]", "CAR", "heralded g2(0)", "single photon?"],
+            rows,
+        )
+    )
+
+    print("\nPhoton linewidth vs the memory acceptance")
+    signal, idler = scheme.detected_streams(1, 300.0, rng.child("linewidth"))
+    tdc = TimeToDigitalConverter(bin_width_s=scheme.calibration.tdc_bin_s)
+    centres, counts = tdc.delay_histogram(signal, idler, max_delay_s=8e-9)
+    jitter = math.sqrt(2.0) * scheme.calibration.detector_jitter_sigma_s
+    fit = fit_coincidence_peak(centres, counts, jitter, fix_jitter=True)
+    print(f"  fitted linewidth     : {fit.linewidth_hz / 1e6:.1f} MHz")
+    print(f"  memory acceptance    : {MEMORY_ACCEPTANCE_HZ / 1e6:.0f} MHz")
+    compatible = fit.linewidth_hz < 2.0 * MEMORY_ACCEPTANCE_HZ
+    print(f"  memory compatible    : {'yes' if compatible else 'no'}")
+    print(
+        "\nThe narrow (~110 MHz) linewidth enabled by the high-Q ring is what"
+        "\nmakes this source 'extremely appealing for quantum memories'"
+        "\n(Section II of the paper)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Scenario: a multi-user QKD service on one chip (extension).
+
+The paper opens with quantum cryptography as the driving application.
+This example runs the BBM92 protocol over the comb's five multiplexed
+time-bin entangled channel pairs — one user per channel — and then shows
+the high-dimensional frequency-bin upgrade path the intro motivates.
+
+Run:  python examples/multiplexed_qkd.py
+"""
+
+from repro.extensions.frequency_bin import FrequencyBinScheme
+from repro.extensions.qkd import BBM92Link, QBER_SECURITY_THRESHOLD
+from repro.utils.rng import RandomStream
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    rng = RandomStream(seed=17, label="qkd-example")
+
+    print("BBM92 over the multiplexed time-bin comb (one user per channel)\n")
+    link = BBM92Link()
+    print(f"expected QBER from source visibility : {link.expected_qber():.3f}")
+    print(f"security threshold                   : {QBER_SECURITY_THRESHOLD}\n")
+
+    duration_s = 60.0
+    reports = link.run_all_channels(duration_s, rng)
+    rows = []
+    for report in reports:
+        rows.append(
+            [
+                f"±{report.channel_order}",
+                report.sifted_bits,
+                f"{report.qber:.3f}",
+                f"{report.sifted_rate_bps:.0f}",
+                f"{report.secret_rate_bps:.0f}",
+                "yes" if report.secure else "NO",
+            ]
+        )
+    print(
+        format_table(
+            ["channel", "sifted bits", "QBER", "sifted [b/s]",
+             "secret [b/s]", "secure"],
+            rows,
+            title=f"{duration_s:.0f} s session, 5 users",
+        )
+    )
+    total = link.aggregate_secret_rate_bps(reports)
+    print(f"\naggregate secret key rate: {total:.0f} bit/s across 5 users")
+
+    print("\nUpgrade path: high-dimensional frequency-bin encoding")
+    for d in (2, 4):
+        scheme = FrequencyBinScheme(dimension=d)
+        print(
+            f"  d={d}: certified dimension {scheme.certified_dimension()}, "
+            f"{scheme.key_rate_factor():.0f} bit(s) per coincidence"
+        )
+    print("  -> the same comb lines, re-encoded, double the per-photon"
+          " information (Kues et al., Nature 546, 622, 2017).")
+
+
+if __name__ == "__main__":
+    main()

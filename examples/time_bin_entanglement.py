@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Scenario: certifying multiplexed time-bin entanglement for QKD.
+
+An entanglement-based QKD link needs every comb channel pair to violate
+the CHSH inequality.  This example runs the full Section IV chain on all
+five channel pairs — fringe scan, visibility fit, CHSH — and also shows
+what happens when the analysis interferometer lock fails.
+
+Run:  python examples/time_bin_entanglement.py
+"""
+
+from repro import QuantumCombSource
+from repro.quantum.bell import (
+    CLASSICAL_BOUND,
+    VISIBILITY_VIOLATION_THRESHOLD,
+    visibility_to_chsh,
+)
+from repro.timebin.fringes import FringeScan
+from repro.timebin.stabilization import PhaseController
+from repro.utils.rng import RandomStream
+from repro.utils.tables import format_table, sparkline
+
+
+def main() -> None:
+    source = QuantumCombSource.paper_device()
+    scheme = source.time_bin_scheme()
+    rng = RandomStream(seed=3, label="time-bin-example")
+
+    state = scheme.pair_state()
+    print("Time-bin entangled pair source (double-pulse pump)")
+    print(f"  multi-pair visibility ceiling : "
+          f"{scheme.calibration.multi_pair_visibility:.3f}")
+    print(f"  CHSH violation needs V > {VISIBILITY_VIOLATION_THRESHOLD:.3f}\n")
+
+    rows = []
+    for order in range(1, scheme.calibration.num_channel_pairs + 1):
+        scan = FringeScan(
+            state=state,
+            event_rate_hz=scheme.event_rate_hz() * (1.0 - 0.05 * (order - 1)),
+            dwell_time_s=30.0,
+            controller=scheme.phase_controller(),
+        )
+        result = scan.run(rng.child(f"ch{order}"))
+        s_value = visibility_to_chsh(min(result.visibility, 1.0))
+        rows.append(
+            [
+                f"±{order}",
+                f"{result.visibility:.3f} ± {result.visibility_error:.3f}",
+                f"{s_value:.3f}",
+                "violated" if s_value > CLASSICAL_BOUND else "no violation",
+                sparkline(result.counts),
+            ]
+        )
+    print(
+        format_table(
+            ["channel", "visibility", "S = 2√2·V", "CHSH", "fringe"],
+            rows,
+            title="Quantum interference on 5 multiplexed channel pairs",
+        )
+    )
+
+    print("\nWhat if the interferometer lock fails?")
+    unlocked = FringeScan(
+        state=state,
+        event_rate_hz=scheme.event_rate_hz(),
+        dwell_time_s=30.0,
+        controller=PhaseController(locked=False, drift_rate_rad_per_sqrt_s=1.0),
+    )
+    result = unlocked.run(rng.child("unlocked"), num_steps=48)
+    print(f"  unlocked visibility : {result.visibility:.3f} "
+          f"(S = {visibility_to_chsh(min(result.visibility, 1.0)):.2f}, "
+          "no violation)")
+    print("  -> phase stabilisation is load-bearing, as the paper's"
+          " 'phase-stabilized Michelson interferometer' emphasises.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Module execution shim: ``python -m repro``."""
+
+from repro.cli import main
+
+raise SystemExit(main())

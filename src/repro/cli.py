@@ -1,0 +1,130 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands::
+
+    python -m repro list                 # available experiments
+    python -m repro run E2 [--seed N] [--quick] [--full]
+    python -m repro run all --quick      # every experiment
+    python -m repro device               # device presets summary
+
+The CLI exists so a user can regenerate any paper table without writing
+Python; it prints exactly what the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.source import QuantumCombSource
+from repro.errors import ReproError
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.utils.tables import format_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'Generation of Complex Quantum States via "
+            "Integrated Frequency Combs' (DATE 2017)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+    subparsers.add_parser("device", help="print the device presets")
+
+    report_parser = subparsers.add_parser(
+        "report", help="paper-vs-measured summary over all experiments"
+    )
+    report_parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    report_parser.add_argument(
+        "--quick", action="store_true", help="reduced statistics"
+    )
+
+    run_parser = subparsers.add_parser("run", help="run an experiment")
+    run_parser.add_argument(
+        "experiment",
+        help="experiment id (E1..E9) or 'all'",
+    )
+    run_parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    statistics = run_parser.add_mutually_exclusive_group()
+    statistics.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced statistics (seconds instead of minutes)",
+    )
+    statistics.add_argument(
+        "--full",
+        action="store_true",
+        help="full statistics (the benchmark configuration; default)",
+    )
+    return parser
+
+
+def command_list() -> int:
+    """Print the experiment registry."""
+    rows = [
+        [key, description] for key, (_, description) in sorted(EXPERIMENTS.items())
+    ]
+    print(format_table(["id", "description"], rows, title="Experiments"))
+    return 0
+
+
+def command_device() -> int:
+    """Print both chip presets."""
+    source = QuantumCombSource.paper_device()
+    for name, summary in source.device_summary().items():
+        rows = [[key, value] for key, value in summary.items()]
+        print(format_table(["parameter", "value"], rows, title=name))
+        print()
+    return 0
+
+
+def command_report(seed: int, quick: bool) -> int:
+    """Run every experiment and print the paper-vs-measured table."""
+    from repro.experiments.report import generate_report, render_report
+
+    comparisons = generate_report(seed=seed, quick=quick)
+    print(render_report(comparisons))
+    failures = [c for c in comparisons if not c.within_shape]
+    return 0 if not failures else 1
+
+
+def command_run(experiment: str, seed: int, quick: bool) -> int:
+    """Run one experiment (or all of them) and print the results."""
+    if experiment.lower() == "all":
+        keys = sorted(EXPERIMENTS)
+    else:
+        keys = [experiment]
+    for key in keys:
+        result = run_experiment(key, seed=seed, quick=quick)
+        print(result.to_text())
+        print()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return command_list()
+        if args.command == "device":
+            return command_device()
+        if args.command == "report":
+            return command_report(args.seed, args.quick)
+        if args.command == "run":
+            return command_run(args.experiment, args.seed, args.quick)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

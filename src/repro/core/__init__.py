@@ -1,0 +1,46 @@
+"""The paper's contribution: a quantum frequency comb source.
+
+:class:`~repro.core.source.QuantumCombSource` wraps a microring device and
+a pump configuration and exposes the quantum states / photon streams the
+four pumping schemes produce.  Device presets and calibrated default
+parameters live in :mod:`repro.core.device` and
+:mod:`repro.core.calibration`.
+"""
+
+from repro.core.device import RingDevice, hydex_ring_high_q, hydex_ring_type_ii
+from repro.core.calibration import (
+    HERALDED_DEFAULTS,
+    FOUR_PHOTON_DEFAULTS,
+    TIME_BIN_DEFAULTS,
+    TYPE_II_DEFAULTS,
+    HeraldedCalibration,
+    FourPhotonCalibration,
+    TimeBinCalibration,
+    TypeIICalibration,
+)
+from repro.core.source import QuantumCombSource
+from repro.core.schemes import (
+    HeraldedSingleScheme,
+    MultiPhotonScheme,
+    TimeBinScheme,
+    TypeIIScheme,
+)
+
+__all__ = [
+    "FOUR_PHOTON_DEFAULTS",
+    "FourPhotonCalibration",
+    "HERALDED_DEFAULTS",
+    "HeraldedCalibration",
+    "HeraldedSingleScheme",
+    "MultiPhotonScheme",
+    "QuantumCombSource",
+    "RingDevice",
+    "TIME_BIN_DEFAULTS",
+    "TYPE_II_DEFAULTS",
+    "TimeBinCalibration",
+    "TimeBinScheme",
+    "TypeIICalibration",
+    "TypeIIScheme",
+    "hydex_ring_high_q",
+    "hydex_ring_type_ii",
+]

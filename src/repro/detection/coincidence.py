@@ -1,0 +1,152 @@
+"""Coincidence counting and the coincidence-to-accidental ratio (CAR).
+
+The CAR is the paper's workhorse figure of merit: coincidences in a window
+centred on zero delay, divided by the accidental level measured in offset
+windows.  Section II reports CAR between 12.8 and 32.4 at 15 mW;
+Section III reports CAR ≈ 10 at 2 mW for the type-II source.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.detection.tdc import collect_delays
+from repro.utils import stats
+
+
+def count_coincidences(
+    times_a_s: np.ndarray,
+    times_b_s: np.ndarray,
+    window_s: float,
+    center_s: float = 0.0,
+) -> int:
+    """Number of (a, b) click pairs with b-a in [center ± window/2]."""
+    if window_s <= 0:
+        raise ConfigurationError("window must be positive")
+    a = np.sort(np.asarray(times_a_s, dtype=float))
+    b = np.sort(np.asarray(times_b_s, dtype=float))
+    # Shift stream b so the target delay window is centred on zero, then
+    # reuse the two-pointer sweep.
+    delays = collect_delays(a, b - center_s, window_s / 2.0)
+    return int(delays.size)
+
+
+def coincidence_histogram(
+    times_a_s: np.ndarray,
+    times_b_s: np.ndarray,
+    bin_width_s: float,
+    max_delay_s: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Delay histogram (centres, counts) between two click streams."""
+    if bin_width_s <= 0 or max_delay_s <= 0:
+        raise ConfigurationError("bin width and max delay must be positive")
+    a = np.sort(np.asarray(times_a_s, dtype=float))
+    b = np.sort(np.asarray(times_b_s, dtype=float))
+    delays = collect_delays(a, b, max_delay_s)
+    n_bins = max(int(round(2.0 * max_delay_s / bin_width_s)), 2)
+    edges = np.linspace(-max_delay_s, max_delay_s, n_bins + 1)
+    counts, _ = np.histogram(delays, bins=edges)
+    centres = 0.5 * (edges[:-1] + edges[1:])
+    return centres, counts.astype(float)
+
+
+@dataclasses.dataclass(frozen=True)
+class CoincidenceResult:
+    """Outcome of a CAR measurement on one channel pair."""
+
+    coincidences: int
+    accidentals_mean: float
+    duration_s: float
+    window_s: float
+
+    @property
+    def coincidence_rate_hz(self) -> float:
+        """Raw coincidence rate (true + accidental)."""
+        return self.coincidences / self.duration_s
+
+    @property
+    def true_coincidence_rate_hz(self) -> float:
+        """Accidental-subtracted coincidence rate — the paper's
+        "pair generation rate per channel"."""
+        return max(self.coincidences - self.accidentals_mean, 0.0) / self.duration_s
+
+    @property
+    def car(self) -> float:
+        """Coincidence-to-accidental ratio."""
+        if self.accidentals_mean <= 0:
+            return math.inf
+        return self.coincidences / self.accidentals_mean
+
+    @property
+    def car_error(self) -> float:
+        """One-sigma error on the CAR from Poisson statistics."""
+        if self.accidentals_mean <= 0:
+            return math.inf
+        return stats.ratio_error(
+            float(self.coincidences),
+            math.sqrt(max(self.coincidences, 1)),
+            self.accidentals_mean,
+            math.sqrt(max(self.accidentals_mean, 1.0)),
+        )
+
+
+def car_from_tags(
+    times_a_s: np.ndarray,
+    times_b_s: np.ndarray,
+    duration_s: float,
+    window_s: float = 2.5e-9,
+    num_accidental_windows: int = 10,
+    accidental_offset_s: float = 50e-9,
+) -> CoincidenceResult:
+    """Measure coincidences and accidentals exactly as the experiment does.
+
+    Coincidences are counted in a window centred at zero delay; the
+    accidental level is the mean count over ``num_accidental_windows``
+    windows offset far outside the biphoton correlation time (alternating
+    sides to cancel slow drifts).
+    """
+    if duration_s <= 0:
+        raise ConfigurationError("duration must be positive")
+    if num_accidental_windows < 1:
+        raise ConfigurationError("need at least one accidental window")
+    if accidental_offset_s <= window_s:
+        raise ConfigurationError(
+            "accidental offset must exceed the coincidence window"
+        )
+    coincidences = count_coincidences(times_a_s, times_b_s, window_s, center_s=0.0)
+    accidental_counts = []
+    for k in range(num_accidental_windows):
+        side = 1 if k % 2 == 0 else -1
+        center = side * (accidental_offset_s + (k // 2) * accidental_offset_s)
+        accidental_counts.append(
+            count_coincidences(times_a_s, times_b_s, window_s, center_s=center)
+        )
+    return CoincidenceResult(
+        coincidences=coincidences,
+        accidentals_mean=float(np.mean(accidental_counts)),
+        duration_s=duration_s,
+        window_s=window_s,
+    )
+
+
+def expected_car(
+    true_pair_rate_hz: float,
+    singles_a_hz: float,
+    singles_b_hz: float,
+    window_s: float,
+) -> float:
+    """Analytic CAR estimate: (C + A)/A with A = S_a·S_b·w.
+
+    Useful as a cross-check of the Monte-Carlo result and for fast
+    parameter scans (the ablation benches).
+    """
+    if min(true_pair_rate_hz, singles_a_hz, singles_b_hz) < 0 or window_s <= 0:
+        raise ConfigurationError("rates must be >= 0 and window > 0")
+    accidental_rate = singles_a_hz * singles_b_hz * window_s
+    if accidental_rate == 0:
+        return math.inf
+    return (true_pair_rate_hz + accidental_rate) / accidental_rate

@@ -1,0 +1,41 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single except clause while builtin
+``ValueError``/``TypeError`` from misuse of numpy still propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A device, pump or experiment was configured with invalid parameters."""
+
+
+class PhysicsError(ReproError, ValueError):
+    """A computation was asked to violate a physical constraint.
+
+    Examples: a density matrix with negative eigenvalues beyond tolerance, a
+    pump power that makes a probability exceed one, an interferometer with
+    transmission above unity.
+    """
+
+
+class StateValidationError(PhysicsError):
+    """A quantum state failed validation (trace, hermiticity, positivity)."""
+
+
+class DimensionMismatchError(ReproError, ValueError):
+    """Operands live in incompatible Hilbert spaces."""
+
+
+class TomographyError(ReproError, RuntimeError):
+    """State reconstruction failed (insufficient data, non-convergence)."""
+
+
+class FitError(ReproError, RuntimeError):
+    """A curve fit failed to converge or produced unphysical parameters."""

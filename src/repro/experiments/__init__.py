@@ -1,0 +1,12 @@
+"""Experiment drivers: one per quantitative claim of the paper.
+
+Each module exposes ``run(seed=0, quick=False) -> ExperimentResult``; the
+registry maps experiment ids (E1..E9) to those drivers.  ``quick=True``
+trades statistics for speed (used by unit tests; benchmarks run the full
+configuration).
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "get_experiment", "run_experiment"]

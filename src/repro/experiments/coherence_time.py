@@ -1,0 +1,85 @@
+"""E3 — photon coherence time / linewidth of Section II.
+
+Paper claim: "The signal/idler coherence time is determined using
+time-resolved coincidence measurements, resulting in a measured value of
+Δν = 110 MHz, consistent with the linewidth of the ring resonator
+(considering the time jitter of the detectors)."
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.schemes import HeraldedSingleScheme
+from repro.detection.tdc import TimeToDigitalConverter
+from repro.experiments.base import ExperimentResult
+from repro.utils.fitting import fit_coincidence_peak
+from repro.utils.rng import RandomStream
+
+PAPER_CLAIM = (
+    "time-resolved coincidences give Δν = 110 MHz, consistent with the "
+    "ring linewidth after accounting for detector jitter (Section II)"
+)
+
+PAPER_LINEWIDTH_HZ = 110e6
+
+
+def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
+    """Build the signal-idler delay histogram and fit the linewidth.
+
+    The fit model is the two-sided exponential (rate Γ = 2π·Δν) convolved
+    with the known combined detector jitter — the "considering the time
+    jitter" deconvolution the paper performs.
+    """
+    scheme = HeraldedSingleScheme()
+    duration_s = 120.0 if quick else 600.0
+    rng = RandomStream(seed, label="E3")
+
+    signal, idler = scheme.detected_streams(1, duration_s, rng)
+    tdc = TimeToDigitalConverter(bin_width_s=scheme.calibration.tdc_bin_s)
+    centres, counts = tdc.delay_histogram(signal, idler, max_delay_s=8e-9)
+
+    combined_jitter = math.sqrt(2.0) * scheme.calibration.detector_jitter_sigma_s
+    fit = fit_coincidence_peak(centres, counts, combined_jitter, fix_jitter=True)
+
+    ring_linewidth = scheme.device.linewidth_hz
+    recovered = fit.linewidth_hz
+    headers = ["quantity", "value"]
+    rows = [
+        ["histogram bins", centres.size],
+        ["total coincidence events", int(counts.sum())],
+        ["peak counts per bin", int(counts.max())],
+        ["fitted decay rate [1/s]", fit.decay_rate],
+        ["fitted 1/e coherence time [ns]", fit.coherence_time * 1e9],
+        ["fitted linewidth [MHz]", recovered / 1e6],
+        ["ring linewidth [MHz]", ring_linewidth / 1e6],
+        ["detector jitter used [ps]", combined_jitter * 1e12],
+    ]
+    # Down-sample the histogram into a displayable series.
+    stride = max(1, centres.size // 40)
+    metrics = {
+        "linewidth_mhz": recovered / 1e6,
+        "ring_linewidth_mhz": ring_linewidth / 1e6,
+        "relative_error": abs(recovered - ring_linewidth) / ring_linewidth,
+        "coherence_time_ns": fit.coherence_time * 1e9,
+        "peak_to_background": float(
+            counts.max() / max(np.percentile(counts, 10), 1.0)
+        ),
+    }
+    return ExperimentResult(
+        experiment_id="E3",
+        title="Time-resolved coincidence linewidth measurement",
+        paper_claim=PAPER_CLAIM,
+        headers=headers,
+        rows=rows,
+        metrics=metrics,
+        series=[
+            (
+                "G2(tau) [counts]",
+                list(centres[::stride] * 1e9),
+                list(counts[::stride]),
+            )
+        ],
+    )

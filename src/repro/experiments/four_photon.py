@@ -1,0 +1,79 @@
+"""E8 — four-photon quantum interference (Section V).
+
+Paper claim: "We confirm the generation of this four-photon state through
+four-photon quantum interference [...] quantum interference was measured
+with a visibility of 89 % without background correction."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.schemes import MultiPhotonScheme
+from repro.experiments.base import ExperimentResult
+from repro.timebin.fringes import FringeScan
+from repro.utils.rng import RandomStream
+
+PAPER_CLAIM = (
+    "four-photon quantum interference with 89 % raw visibility (Section V)"
+)
+
+PAPER_VISIBILITY = 0.89
+
+
+def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
+    """Scan the common analyser phase and fit the four-fold fringe.
+
+    All four photons traverse analysers at the same phase φ; the four-fold
+    coincidence rate follows (1 + cos(2φ))² — oscillating at *twice* the
+    scan frequency, the smoking gun of four-photon interference — with the
+    visibility set by the multi-pair white noise of the source.
+    """
+    scheme = MultiPhotonScheme()
+    rng = RandomStream(seed, label="E8")
+    # Even quick mode keeps 24 steps: the 2x-frequency fringe plus its
+    # second harmonic needs the sampling density or the extrema fit
+    # biases the visibility upward.
+    dwell = 300.0 if quick else scheme.calibration.dwell_time_s
+    num_steps = 24
+
+    state = scheme.four_photon_state()
+    scan = FringeScan(
+        state=state,
+        event_rate_hz=scheme.calibration.fourfold_event_rate_hz,
+        dwell_time_s=dwell,
+        scanned_photon=None,
+        controller=scheme.phase_controller(),
+    )
+    result = scan.run(rng, num_steps=num_steps)
+
+    v_state = scheme.calibration.state_visibility
+    expected = 2.0 * v_state / (1.0 + v_state)
+    headers = ["scan phase [rad]", "four-fold counts"]
+    rows = [
+        [round(float(phi), 3), int(c)]
+        for phi, c in zip(result.phases_rad, result.counts)
+    ]
+    metrics = {
+        "visibility": float(result.visibility),
+        "visibility_error": float(result.visibility_error),
+        "expected_visibility": float(expected),
+        "paper_visibility": PAPER_VISIBILITY,
+        "fringe_periods_in_scan": 2.0,
+        "max_counts": float(result.counts.max()),
+    }
+    return ExperimentResult(
+        experiment_id="E8",
+        title="Four-photon quantum interference",
+        paper_claim=PAPER_CLAIM,
+        headers=headers,
+        rows=rows,
+        metrics=metrics,
+        series=[
+            (
+                "four-fold counts",
+                list(np.round(result.phases_rad, 3)),
+                list(result.counts),
+            )
+        ],
+    )

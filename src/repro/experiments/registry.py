@@ -1,0 +1,58 @@
+"""Registry mapping experiment ids to their drivers."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    bell_fringes,
+    car_rates,
+    coherence_time,
+    coincidence_matrix,
+    four_photon,
+    opo_power,
+    stability,
+    tomography_fidelity,
+    typeii_car,
+)
+from repro.experiments.base import ExperimentResult
+
+#: Experiment id → (driver, one-line description).
+EXPERIMENTS: dict[str, tuple[Callable[..., ExperimentResult], str]] = {
+    "E1": (coincidence_matrix.run, "signal/idler coincidence matrix (II)"),
+    "E2": (car_rates.run, "per-channel CAR and pair rates at 15 mW (II)"),
+    "E3": (coherence_time.run, "time-resolved linewidth, 110 MHz (II)"),
+    "E4": (stability.run, "weeks-long < 5% stability (II)"),
+    "E5": (typeii_car.run, "type-II CAR ~ 10 at 2 mW (III)"),
+    "E6": (opo_power.run, "OPO threshold at 14 mW, quadratic->linear (III)"),
+    "E7": (bell_fringes.run, "83% visibility + CHSH on 5 channels (IV)"),
+    "E8": (four_photon.run, "89% four-photon interference (V)"),
+    "E9": (tomography_fidelity.run, "tomography, 64% four-photon fidelity (V)"),
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """The driver for an experiment id (case-insensitive)."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key][0]
+
+
+def run_experiment(
+    experiment_id: str, seed: int = 0, quick: bool = False
+) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get_experiment(experiment_id)(seed=seed, quick=quick)
+
+
+def run_all(seed: int = 0, quick: bool = True) -> dict[str, ExperimentResult]:
+    """Run every experiment; returns id → result."""
+    return {
+        key: driver(seed=seed, quick=quick)
+        for key, (driver, _) in EXPERIMENTS.items()
+    }

@@ -1,0 +1,15 @@
+"""Extensions beyond the DATE 2017 paper's demonstrated results.
+
+The paper's introduction motivates two future directions that the same
+device supports: **high-dimensional frequency-bin entanglement**
+("frequency multiplexing to enable high dimensional multi-user
+operation") and **entanglement-based QKD**.  These modules implement both
+on top of the core substrates, following the group's published follow-up
+work where it exists (Kues et al., Nature 546, 622, 2017 for the
+high-dimensional direction).
+"""
+
+from repro.extensions.frequency_bin import FrequencyBinScheme
+from repro.extensions.qkd import BBM92Link
+
+__all__ = ["BBM92Link", "FrequencyBinScheme"]

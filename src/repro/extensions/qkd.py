@@ -1,0 +1,149 @@
+"""Entanglement-based QKD (BBM92) over the comb's channel pairs.
+
+The paper's introduction frames the source as "a key enabling technology
+for quantum communications".  This module closes that loop: it runs the
+BBM92 protocol over the simulated time-bin entangled pairs, producing
+sifted-key rates and quantum bit error rates (QBER) per comb channel —
+the figure of merit a network operator would quote.
+
+Model: each party measures in one of two mutually unbiased time-bin bases
+(the Z arrival-time basis and the X superposition basis via the analysis
+interferometer).  The Werner-state visibility V of the source maps to a
+QBER of (1 - V)/2 in each basis; security requires QBER below the ~11 %
+BB84/BBM92 threshold, which coincides with the CHSH-violation region.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.core.schemes import TimeBinScheme
+from repro.errors import ConfigurationError
+from repro.utils.rng import RandomStream
+
+#: Asymptotic BB84/BBM92 security threshold for one-way post-processing.
+QBER_SECURITY_THRESHOLD = 0.11
+
+
+def binary_entropy(p: float) -> float:
+    """h(p) in bits; h(0) = h(1) = 0."""
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"probability must be in [0, 1], got {p}")
+    if p in (0.0, 1.0):
+        return 0.0
+    return float(-p * math.log2(p) - (1.0 - p) * math.log2(1.0 - p))
+
+
+@dataclasses.dataclass(frozen=True)
+class QKDChannelReport:
+    """Per-channel outcome of a BBM92 session."""
+
+    channel_order: int
+    sifted_bits: int
+    error_bits: int
+    duration_s: float
+
+    @property
+    def qber(self) -> float:
+        """Quantum bit error rate of the sifted key."""
+        if self.sifted_bits == 0:
+            return 1.0
+        return self.error_bits / self.sifted_bits
+
+    @property
+    def sifted_rate_bps(self) -> float:
+        """Sifted key bits per second."""
+        return self.sifted_bits / self.duration_s
+
+    @property
+    def secure(self) -> bool:
+        """True if the QBER is below the asymptotic security threshold."""
+        return self.qber < QBER_SECURITY_THRESHOLD
+
+    @property
+    def secret_fraction(self) -> float:
+        """Asymptotic secret fraction 1 - 2·h(QBER), clipped at zero."""
+        return max(0.0, 1.0 - 2.0 * binary_entropy(min(self.qber, 0.5)))
+
+    @property
+    def secret_rate_bps(self) -> float:
+        """Asymptotic secret key rate."""
+        return self.sifted_rate_bps * self.secret_fraction
+
+
+@dataclasses.dataclass(frozen=True)
+class BBM92Link:
+    """A BBM92 session over the multiplexed time-bin source.
+
+    Parameters
+    ----------
+    scheme:
+        The time-bin entanglement scheme supplying the pair state and
+        event rate.
+    basis_match_probability:
+        Probability both parties chose the same basis (1/2 for uniform
+        random choices).
+    """
+
+    scheme: TimeBinScheme = dataclasses.field(default_factory=TimeBinScheme)
+    basis_match_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.basis_match_probability <= 1.0:
+            raise ConfigurationError(
+                "basis match probability must be in (0, 1]"
+            )
+
+    def expected_qber(self) -> float:
+        """(1 - V_eff)/2 with the phase-noise-reduced state visibility."""
+        calibration = self.scheme.calibration
+        v_eff = calibration.state_visibility * math.exp(
+            -(calibration.phase_noise_sigma_rad**2)
+        )
+        return (1.0 - v_eff) / 2.0
+
+    def run_channel(
+        self, channel_order: int, duration_s: float, rng: RandomStream
+    ) -> QKDChannelReport:
+        """Simulate a session on one comb channel pair.
+
+        Coincidence events arrive at the scheme's post-selected rate; a
+        basis-matched fraction contributes sifted bits, each flipped with
+        the QBER probability.
+        """
+        if duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+        if channel_order < 1:
+            raise ConfigurationError("channel order must be >= 1")
+        # Post-selection keeps 1/8 of coincidences per basis-matched pair
+        # (each photon: central slot 1/4, but Z-basis measurements keep
+        # both slots, averaged to 1/2 overall basis efficiency).
+        event_rate = self.scheme.event_rate_hz() * (
+            1.0 - 0.05 * (channel_order - 1)
+        )
+        usable_rate = event_rate * self.basis_match_probability / 2.0
+        n_sifted = int(rng.poisson(usable_rate * duration_s))
+        qber = self.expected_qber()
+        n_errors = int(rng.binomial(n_sifted, qber)) if n_sifted else 0
+        return QKDChannelReport(
+            channel_order=channel_order,
+            sifted_bits=n_sifted,
+            error_bits=n_errors,
+            duration_s=duration_s,
+        )
+
+    def run_all_channels(
+        self, duration_s: float, rng: RandomStream
+    ) -> list[QKDChannelReport]:
+        """One session per multiplexed channel pair (multi-user mode)."""
+        return [
+            self.run_channel(order, duration_s, rng.child(f"ch{order}"))
+            for order in range(1, self.scheme.calibration.num_channel_pairs + 1)
+        ]
+
+    def aggregate_secret_rate_bps(self, reports) -> float:
+        """Total secret key rate over all multiplexed channels."""
+        return float(sum(report.secret_rate_bps for report in reports))

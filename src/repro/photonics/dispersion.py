@@ -1,0 +1,87 @@
+"""Waveguide and resonator dispersion utilities.
+
+Dispersion matters to the paper twice: phase matching of SFWM across the
+broad S+C+L comb (the ring is engineered for low anomalous dispersion near
+1550 nm), and the TE/TM free-spectral-range matching of the type-II scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import ConfigurationError
+from repro.photonics.waveguide import Waveguide
+
+
+def beta2_s2_per_m(
+    waveguide: Waveguide,
+    wavelength_m: float,
+    polarization: str = "TE",
+    step_m: float = 2e-10,
+) -> float:
+    """Group velocity dispersion β₂ = dβ₁/dω [s²/m].
+
+    Computed by finite differences of the group index:
+    β₁ = n_g/c, β₂ = (dn_g/dλ)·(dλ/dω)/c = -λ²/(2πc²)·dn_g/dλ.
+    """
+    ng_plus = waveguide.group_index(wavelength_m + step_m, polarization)
+    ng_minus = waveguide.group_index(wavelength_m - step_m, polarization)
+    dng_dlam = (ng_plus - ng_minus) / (2.0 * step_m)
+    return float(-(wavelength_m**2) / (2.0 * np.pi * SPEED_OF_LIGHT**2) * dng_dlam)
+
+
+def dispersion_parameter_ps_nm_km(
+    waveguide: Waveguide, wavelength_m: float, polarization: str = "TE"
+) -> float:
+    """Engineering D parameter [ps/(nm·km)] = -2πc·β₂/λ²·(unit scale)."""
+    beta2 = beta2_s2_per_m(waveguide, wavelength_m, polarization)
+    d_si = -2.0 * np.pi * SPEED_OF_LIGHT / wavelength_m**2 * beta2
+    return float(d_si * 1e6)
+
+
+def integrated_dispersion_hz(
+    resonance_frequencies: np.ndarray, orders: np.ndarray
+) -> np.ndarray:
+    """D_int(m) = ν_m - (ν₀ + m·FSR): the ladder's deviation from linearity.
+
+    FSR is taken as the local spacing at the centre; a quadratic D_int
+    corresponds to constant D₂ (anomalous if positive).
+    """
+    frequencies = np.asarray(resonance_frequencies, dtype=float)
+    orders = np.asarray(orders, dtype=float)
+    if frequencies.shape != orders.shape:
+        raise ConfigurationError("frequencies and orders must align")
+    if frequencies.size < 3:
+        raise ConfigurationError("need at least 3 resonances")
+    center = int(np.argmin(np.abs(orders)))
+    if center == 0 or center == orders.size - 1:
+        raise ConfigurationError("orders must bracket m=0")
+    local_fsr = (frequencies[center + 1] - frequencies[center - 1]) / (
+        orders[center + 1] - orders[center - 1]
+    )
+    return frequencies - (frequencies[center] + (orders - orders[center]) * local_fsr)
+
+
+def d2_from_ladder(resonance_frequencies: np.ndarray, orders: np.ndarray) -> float:
+    """Fit D₂ from a resonance ladder: ν_m ≈ ν₀ + m·FSR + D₂·m²/2."""
+    frequencies = np.asarray(resonance_frequencies, dtype=float)
+    orders = np.asarray(orders, dtype=float)
+    if frequencies.shape != orders.shape or frequencies.size < 3:
+        raise ConfigurationError("need matching arrays of at least 3 resonances")
+    coefficients = np.polyfit(orders, frequencies, 2)
+    return float(2.0 * coefficients[0])
+
+
+def fsr_mismatch_hz(waveguide: Waveguide, circumference_m: float,
+                    wavelength_m: float) -> float:
+    """TE-TM free-spectral-range difference of a ring on this waveguide.
+
+    ΔFSR = c/L · (1/n_g^TE - 1/n_g^TM).  The type-II scheme requires this
+    to be small compared to the linewidth over the comb span.
+    """
+    if circumference_m <= 0:
+        raise ConfigurationError("circumference must be positive")
+    ng_te = waveguide.group_index(wavelength_m, "TE")
+    ng_tm = waveguide.group_index(wavelength_m, "TM")
+    return float(SPEED_OF_LIGHT / circumference_m * (1.0 / ng_te - 1.0 / ng_tm))

@@ -1,0 +1,142 @@
+"""Qudit (d-level) states for high-dimensional frequency-bin encoding.
+
+The paper's introduction singles out "frequency multiplexing to enable
+high dimensional multi-user operation" as a key asset of the comb
+platform, and the group's follow-up work (Kues et al., Nature 546, 622,
+2017) demonstrated exactly that: photon pairs entangled over *d* comb
+modes rather than two time bins.  This module supplies the d-level
+machinery: generalized Bell states, Fourier (mutually unbiased) bases,
+and the entanglement-dimensionality tools used to certify them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError, PhysicsError
+from repro.quantum import hilbert
+from repro.quantum.states import DensityMatrix
+
+
+def qudit_ket(dimension: int, level: int) -> np.ndarray:
+    """Basis ket |level⟩ of a d-level system."""
+    return hilbert.basis_ket(dimension, level)
+
+
+def maximally_entangled_qudit_pair(
+    dimension: int, phases_rad: np.ndarray | None = None
+) -> np.ndarray:
+    """|Φ_d⟩ = Σ_k e^{iφ_k} |k, k⟩ / √d — the frequency-bin Bell state.
+
+    Each |k, k⟩ branch is a signal/idler pair on comb line pair ±(k+1);
+    the φ_k are the relative phases the comb modes acquire (all zero for
+    an ideal transform-limited pump).
+    """
+    if dimension < 2:
+        raise PhysicsError(f"dimension must be >= 2, got {dimension}")
+    if phases_rad is None:
+        phases_rad = np.zeros(dimension)
+    phases_rad = np.asarray(phases_rad, dtype=float)
+    if phases_rad.shape != (dimension,):
+        raise DimensionMismatchError(
+            f"need {dimension} phases, got shape {phases_rad.shape}"
+        )
+    ket = np.zeros(dimension * dimension, dtype=complex)
+    for k in range(dimension):
+        ket[k * dimension + k] = np.exp(1j * phases_rad[k])
+    return ket / np.sqrt(dimension)
+
+
+def fourier_basis_ket(dimension: int, index: int) -> np.ndarray:
+    """The ``index``-th vector of the discrete-Fourier (X-like) basis.
+
+    |f_j⟩ = Σ_k ω^{jk} |k⟩ / √d with ω = e^{2πi/d}.  The Fourier basis is
+    mutually unbiased with the frequency basis — measuring in it is what
+    the frequency-bin interferometry of the follow-up work implements.
+    """
+    if dimension < 2:
+        raise PhysicsError(f"dimension must be >= 2, got {dimension}")
+    if not 0 <= index < dimension:
+        raise PhysicsError(f"index {index} outside [0, {dimension})")
+    k = np.arange(dimension)
+    omega = np.exp(2j * np.pi * index * k / dimension)
+    return omega / np.sqrt(dimension)
+
+
+def qudit_white_noise(state: DensityMatrix, visibility: float) -> DensityMatrix:
+    """Isotropic (white) noise mixture for qudit states.
+
+    Same convention as :func:`repro.quantum.noise.add_white_noise`, which
+    only handles the structure validation differently; re-exported here
+    for discoverability next to the qudit constructors.
+    """
+    from repro.quantum.noise import add_white_noise
+
+    return add_white_noise(state, visibility)
+
+
+def schmidt_rank_vector(state: DensityMatrix, threshold: float = 1e-6) -> int:
+    """Number of Schmidt coefficients above threshold for a pure bipartite
+    state — the entanglement dimensionality.
+
+    Raises :class:`PhysicsError` for mixed states (purity < 0.999), where
+    the Schmidt rank is not defined; use :func:`certified_dimension`
+    instead.
+    """
+    if state.num_subsystems != 2:
+        raise DimensionMismatchError(
+            f"Schmidt rank needs a bipartite state, got dims {state.dims}"
+        )
+    if state.purity() < 0.999:
+        raise PhysicsError(
+            "Schmidt rank is defined for (near-)pure states only; got "
+            f"purity {state.purity():.4f}"
+        )
+    d_a, d_b = state.dims
+    # Extract the dominant eigenvector = the pure state itself.
+    eigenvalues, vectors = np.linalg.eigh(np.asarray(state.matrix))
+    ket = vectors[:, -1].reshape(d_a, d_b)
+    singular_values = np.linalg.svd(ket, compute_uv=False)
+    return int(np.sum(singular_values > threshold))
+
+
+def certified_dimension(state: DensityMatrix) -> int:
+    """Lower bound on entanglement dimensionality from the fidelity witness.
+
+    If F = ⟨Φ_d|ρ|Φ_d⟩ exceeds k/d, the state's Schmidt number exceeds k
+    (Fickler/Huber-style witness): returns the largest certifiable k + 1,
+    clipped to [1, d].
+    """
+    if state.num_subsystems != 2 or state.dims[0] != state.dims[1]:
+        raise DimensionMismatchError(
+            f"need two equal-dimension qudits, got dims {state.dims}"
+        )
+    d = state.dims[0]
+    target = maximally_entangled_qudit_pair(d)
+    fidelity = state.fidelity(target)
+    # F > k/d certifies Schmidt number >= k+1.
+    k = int(np.floor(fidelity * d - 1e-12))
+    return max(1, min(k + 1, d))
+
+
+def qudit_fringe_probability(
+    state: DensityMatrix, analyser_phase_rad: float
+) -> float:
+    """Two-qudit coincidence probability for Fourier-basis analysers.
+
+    Both analysers project onto phase-ramped Fourier vectors
+    Σ_k e^{ikφ}|k⟩/√d; for |Φ_d⟩ the coincidence signal is the d-slit
+    interference pattern |Σ_k e^{2ikφ}|²/d³, whose sharpening with d is
+    the high-dimensional signature.
+    """
+    if state.num_subsystems != 2 or state.dims[0] != state.dims[1]:
+        raise DimensionMismatchError(
+            f"need two equal-dimension qudits, got dims {state.dims}"
+        )
+    d = state.dims[0]
+    k = np.arange(d)
+    analyser = np.exp(1j * k * analyser_phase_rad) / np.sqrt(d)
+    projector = np.outer(
+        np.kron(analyser, analyser), np.kron(analyser, analyser).conj()
+    )
+    return state.probability(projector)

@@ -1,0 +1,96 @@
+"""The imbalanced Michelson analysis interferometer.
+
+One photon entering in time bins (early, late) exits in three arrival
+slots; the central slot superposes "early photon, long arm" with "late
+photon, short arm", and its detection implements the projection
+
+    |A(φ)⟩ ∝ |early⟩ + e^{-iφ}|late⟩
+
+with post-selection efficiency 1/4 (amplitude 1/2 per contributing path),
+where φ is the interferometer phase set by the piezo.  Conditioned on the
+central slot, the analyser therefore measures the equatorial observable
+cos(φ)·σx − sin(φ)·σy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class UnbalancedMichelson:
+    """An imbalanced Michelson with a settable long-arm phase.
+
+    Parameters
+    ----------
+    imbalance_s:
+        Arm-length imbalance as a travel-time difference.  Must match the
+        pump double-pulse separation for the central slots to overlap.
+    phase_rad:
+        Optical phase of the long arm (modulo 2π of the carrier).
+    transmission:
+        Overall power transmission of the analyser (splice + coupler loss).
+    """
+
+    imbalance_s: float = 11.1e-9
+    phase_rad: float = 0.0
+    transmission: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.imbalance_s <= 0:
+            raise ConfigurationError("imbalance must be positive")
+        if not 0.0 < self.transmission <= 1.0:
+            raise ConfigurationError("transmission must be in (0, 1]")
+
+    def with_phase(self, phase_rad: float) -> "UnbalancedMichelson":
+        """Copy with a different phase (one piezo scan step)."""
+        return dataclasses.replace(self, phase_rad=phase_rad)
+
+    def slot_amplitudes(self, input_ket: np.ndarray) -> np.ndarray:
+        """Amplitudes over the three output slots for a time-bin qubit.
+
+        Input (α, β) over (early, late) maps to un-normalised output
+        (α/2, (α·e^{iφ} + β)/2, β·e^{iφ}/2) over slots (0, 1, 2), times
+        the amplitude transmission.  The missing norm is the photon exiting
+        toward the other interferometer port — part of the 3/4
+        post-selection loss.
+        """
+        ket = np.asarray(input_ket, dtype=complex).reshape(-1)
+        if ket.shape != (2,):
+            raise ConfigurationError(
+                f"input must be a 2-component time-bin ket, got shape {ket.shape}"
+            )
+        phase = np.exp(1j * self.phase_rad)
+        amp = np.sqrt(self.transmission)
+        alpha, beta = ket
+        return amp * np.array(
+            [alpha / 2.0, (alpha * phase + beta) / 2.0, beta * phase / 2.0]
+        )
+
+    def slot_probabilities(self, input_ket: np.ndarray) -> np.ndarray:
+        """Detection probabilities of the three slots (sum ≤ transmission)."""
+        return np.abs(self.slot_amplitudes(input_ket)) ** 2
+
+    def central_slot_probability(self, input_ket: np.ndarray) -> float:
+        """Probability of landing in the interfering central slot."""
+        return float(self.slot_probabilities(input_ket)[1])
+
+    def analysis_ket(self) -> np.ndarray:
+        """The (normalised) state the central slot projects onto."""
+        return np.array([1.0, np.exp(-1j * self.phase_rad)], dtype=complex) / np.sqrt(
+            2.0
+        )
+
+    def matched_to_pump(self, pulse_separation_s: float, tolerance_s: float) -> bool:
+        """True if the imbalance matches the pump pulse separation.
+
+        In the experiment the match must hold within the photon coherence
+        time (~1.4 ns here) for the post-selected amplitudes to interfere.
+        """
+        if tolerance_s <= 0:
+            raise ConfigurationError("tolerance must be positive")
+        return abs(self.imbalance_s - pulse_separation_s) <= tolerance_s

@@ -1,0 +1,26 @@
+"""Shared utilities: units, random-number streams, ASCII rendering, fitting.
+
+These helpers are deliberately dependency-light; everything in
+:mod:`repro.utils` is usable without importing the physics packages.
+"""
+
+from repro.utils.units import (
+    db_to_linear,
+    dbm_to_watts,
+    linear_to_db,
+    watts_to_dbm,
+)
+from repro.utils.rng import RandomStream, derive_seed
+from repro.utils.tables import format_series, format_table, sparkline
+
+__all__ = [
+    "RandomStream",
+    "db_to_linear",
+    "dbm_to_watts",
+    "derive_seed",
+    "format_series",
+    "format_table",
+    "linear_to_db",
+    "sparkline",
+    "watts_to_dbm",
+]

@@ -1,0 +1,93 @@
+"""ASCII rendering of tables and series.
+
+Matplotlib is not available offline, so every "figure" of the paper is
+regenerated as a table of (x, y) rows plus a unicode sparkline giving the
+shape at a glance.  The benchmark harness prints these.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    ``rows`` may contain any objects; floats are formatted with 4 significant
+    digits, everything else with ``str``.
+    """
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    separator = "|-" + "-|-".join("-" * w for w in widths) + "-|"
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(separator)
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def format_series(
+    x: Sequence[float],
+    y: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+) -> str:
+    """Render an (x, y) series as a table followed by a sparkline."""
+    if len(x) != len(y):
+        raise ValueError(f"series lengths differ: {len(x)} vs {len(y)}")
+    table = format_table([x_label, y_label], zip(x, y), title=title)
+    return table + "\n" + f"{y_label}: " + sparkline(y)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render values as a one-line unicode sparkline.
+
+    Constant series render as a flat mid-level line; empty input renders as
+    an empty string.
+    """
+    values = list(values)
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return _SPARK_LEVELS[3] * len(values)
+    span = high - low
+    chars = []
+    for value in values:
+        level = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        magnitude = abs(cell)
+        if 1e-3 <= magnitude < 1e6:
+            return f"{cell:.4g}"
+        return f"{cell:.3e}"
+    return str(cell)

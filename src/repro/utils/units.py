@@ -1,0 +1,74 @@
+"""Unit conversions used across the photonics and detection models."""
+
+from __future__ import annotations
+
+import math
+
+
+def dbm_to_watts(power_dbm: float) -> float:
+    """Convert an optical power from dBm to watts."""
+    return 1e-3 * 10.0 ** (power_dbm / 10.0)
+
+
+def watts_to_dbm(power_w: float) -> float:
+    """Convert an optical power from watts to dBm.
+
+    Raises :class:`ValueError` for non-positive powers, which have no dBm
+    representation.
+    """
+    if power_w <= 0:
+        raise ValueError(f"power must be positive to express in dBm, got {power_w!r}")
+    return 10.0 * math.log10(power_w / 1e-3)
+
+
+def db_to_linear(value_db: float) -> float:
+    """Convert a ratio from decibels to a linear factor."""
+    return 10.0 ** (value_db / 10.0)
+
+
+def linear_to_db(value: float) -> float:
+    """Convert a linear power ratio to decibels."""
+    if value <= 0:
+        raise ValueError(f"ratio must be positive to express in dB, got {value!r}")
+    return 10.0 * math.log10(value)
+
+
+def loss_db_to_transmission(loss_db: float) -> float:
+    """Convert an insertion loss in dB (positive number) to a transmission.
+
+    A loss of 3 dB maps to a transmission of ~0.501.  Negative losses (gain)
+    are rejected because every component in this library is passive.
+    """
+    if loss_db < 0:
+        raise ValueError(f"insertion loss must be >= 0 dB, got {loss_db!r}")
+    return 10.0 ** (-loss_db / 10.0)
+
+
+def transmission_to_loss_db(transmission: float) -> float:
+    """Convert a transmission in (0, 1] to an insertion loss in dB."""
+    if not 0 < transmission <= 1:
+        raise ValueError(f"transmission must be in (0, 1], got {transmission!r}")
+    return -10.0 * math.log10(transmission)
+
+
+def hz_to_nm_bandwidth(bandwidth_hz: float, center_wavelength_m: float) -> float:
+    """Convert a small frequency bandwidth [Hz] to wavelength bandwidth [nm].
+
+    Uses the first-order relation ``dλ = λ² dν / c`` valid for
+    ``bandwidth_hz`` much smaller than the carrier frequency.
+    """
+    from repro.constants import SPEED_OF_LIGHT
+
+    if bandwidth_hz < 0 or center_wavelength_m <= 0:
+        raise ValueError("bandwidth must be >= 0 and wavelength > 0")
+    return center_wavelength_m**2 * bandwidth_hz / SPEED_OF_LIGHT * 1e9
+
+
+def seconds_to_ps(duration_s: float) -> float:
+    """Convert seconds to picoseconds."""
+    return duration_s * 1e12
+
+
+def ps_to_seconds(duration_ps: float) -> float:
+    """Convert picoseconds to seconds."""
+    return duration_ps * 1e-12

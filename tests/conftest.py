@@ -1,0 +1,23 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.rng import RandomStream
+
+
+@pytest.fixture
+def rng() -> RandomStream:
+    """A deterministic random stream; every test sees the same draws."""
+    return RandomStream(seed=1234, label="tests")
+
+
+@pytest.fixture
+def rng_factory():
+    """Factory for independent deterministic streams, keyed by label."""
+
+    def make(label: str, seed: int = 1234) -> RandomStream:
+        return RandomStream(seed=seed, label=label)
+
+    return make

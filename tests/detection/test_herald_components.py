@@ -1,0 +1,152 @@
+"""Unit tests for heralded g2 and passive components."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.detection.components import (
+    BandpassFilter,
+    DWDMDemux,
+    PolarizingBeamSplitter,
+)
+from repro.detection.herald import (
+    heralded_g2_from_tags,
+    heralding_efficiency,
+    split_on_beamsplitter,
+)
+from repro.detection.timetags import BiphotonSource, thin_stream, uncorrelated_stream
+
+
+class TestBeamsplitterSplit:
+    def test_balanced_split(self, rng):
+        times = np.sort(rng.uniform(0, 1, 50_000))
+        a, b = split_on_beamsplitter(times, rng)
+        assert abs(a.size - b.size) < 1500
+        assert a.size + b.size == times.size
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            split_on_beamsplitter(np.array([1.0]), rng, transmission=1.0)
+
+
+class TestHeraldedG2:
+    def test_single_photons_g2_small(self, rng):
+        # Low-gain pair source: heralded arm is nearly a single photon.
+        src = BiphotonSource(pair_rate_hz=20_000.0, linewidth_hz=110e6)
+        stream = src.generate(50.0, rng.child("pairs"))
+        herald = thin_stream(stream.idler_times_s, 0.3, rng.child("h"))
+        arm1, arm2 = split_on_beamsplitter(
+            thin_stream(stream.signal_times_s, 0.5, rng.child("s")),
+            rng.child("bs"),
+        )
+        g2 = heralded_g2_from_tags(herald, arm1, arm2, window_s=3e-9)
+        assert g2 < 0.5
+
+    def test_coherent_light_g2_near_one(self, rng):
+        # Uncorrelated Poisson streams: g2_h should be ~1.  Rates and
+        # window are chosen so hundreds of triples accumulate (otherwise
+        # the estimator is dominated by Poisson noise).
+        herald = uncorrelated_stream(50_000.0, 20.0, rng.child("h"))
+        arm1 = uncorrelated_stream(50_000.0, 20.0, rng.child("a"))
+        arm2 = uncorrelated_stream(50_000.0, 20.0, rng.child("b"))
+        g2 = heralded_g2_from_tags(herald, arm1, arm2, window_s=400e-9)
+        assert 0.85 < g2 < 1.15
+
+    def test_no_heralds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            heralded_g2_from_tags(np.empty(0), np.array([1.0]), np.array([2.0]), 1e-9)
+
+    def test_zero_when_no_triples(self):
+        herald = np.array([0.0, 100.0])
+        arm1 = np.array([0.0])
+        arm2 = np.array([100.0])
+        assert heralded_g2_from_tags(herald, arm1, arm2, 1e-9) == 0.0
+
+
+class TestHeraldingEfficiency:
+    def test_matches_transmission(self, rng):
+        src = BiphotonSource(pair_rate_hz=50_000.0, linewidth_hz=110e6)
+        stream = src.generate(10.0, rng.child("pairs"))
+        signal = thin_stream(stream.signal_times_s, 0.25, rng.child("s"))
+        eff = heralding_efficiency(stream.idler_times_s, signal, window_s=20e-9)
+        assert np.isclose(eff, 0.25, atol=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            heralding_efficiency(np.empty(0), np.array([1.0]), 1e-9)
+
+
+class TestBandpassFilter:
+    def test_passband_logic(self):
+        bp = BandpassFilter(center_frequency_hz=193e12, bandwidth_hz=100e9)
+        assert bp.passes(193e12)
+        assert bp.passes(193.04e12)
+        assert not bp.passes(193.2e12)
+
+    def test_out_of_band_blocked(self, rng):
+        bp = BandpassFilter(center_frequency_hz=193e12, bandwidth_hz=100e9)
+        out = bp.apply(np.array([1.0, 2.0]), 194e12, rng)
+        assert out.size == 0
+
+    def test_in_band_attenuated(self, rng):
+        bp = BandpassFilter(
+            center_frequency_hz=193e12, bandwidth_hz=100e9, insertion_loss_db=3.0
+        )
+        times = np.sort(rng.uniform(0, 1, 100_000))
+        out = bp.apply(times, 193e12, rng)
+        assert abs(out.size / times.size - 0.501) < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BandpassFilter(center_frequency_hz=0.0)
+
+
+class TestDWDM:
+    def test_transmission_and_crosstalk(self):
+        demux = DWDMDemux(insertion_loss_db=3.0, adjacent_channel_isolation_db=30.0)
+        assert np.isclose(demux.transmission, 0.501, atol=1e-3)
+        assert np.isclose(demux.crosstalk, 1e-3)
+
+    def test_route_in_band(self, rng):
+        demux = DWDMDemux(insertion_loss_db=3.0)
+        times = np.sort(rng.uniform(0, 1, 50_000))
+        routed = demux.route(times, rng)
+        assert abs(routed.size / times.size - 0.501) < 0.02
+
+    def test_route_crosstalk_rare(self, rng):
+        demux = DWDMDemux(insertion_loss_db=0.0, adjacent_channel_isolation_db=20.0)
+        times = np.sort(rng.uniform(0, 1, 50_000))
+        leaked = demux.route(times, rng, in_band=False)
+        assert leaked.size < 0.02 * times.size
+
+
+class TestPBS:
+    def test_routes_by_polarization(self, rng):
+        pbs = PolarizingBeamSplitter(extinction_ratio_db=30.0, insertion_loss_db=0.0)
+        times = np.sort(rng.uniform(0, 1, 100_000))
+        te_port, tm_port = pbs.split(times, "TE", rng)
+        assert te_port.size > 0.99 * times.size
+        assert tm_port.size < 0.01 * times.size
+
+    def test_tm_routing_mirrored(self, rng):
+        pbs = PolarizingBeamSplitter(extinction_ratio_db=30.0, insertion_loss_db=0.0)
+        times = np.sort(rng.uniform(0, 1, 100_000))
+        te_port, tm_port = pbs.split(times, "TM", rng)
+        assert tm_port.size > te_port.size
+
+    def test_insertion_loss_applies(self, rng):
+        pbs = PolarizingBeamSplitter(extinction_ratio_db=30.0, insertion_loss_db=3.0)
+        times = np.sort(rng.uniform(0, 1, 100_000))
+        te_port, tm_port = pbs.split(times, "TE", rng)
+        total = te_port.size + tm_port.size
+        assert abs(total / times.size - 0.501) < 0.02
+
+    def test_wrong_port_probability(self):
+        pbs = PolarizingBeamSplitter(extinction_ratio_db=20.0)
+        assert np.isclose(pbs.wrong_port_probability, 0.01 / 1.01, rtol=1e-6)
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            PolarizingBeamSplitter(extinction_ratio_db=0.0)
+        with pytest.raises(ConfigurationError):
+            PolarizingBeamSplitter().split(np.array([1.0]), "diag", rng)

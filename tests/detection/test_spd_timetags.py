@@ -1,0 +1,121 @@
+"""Unit tests for the detector model and time-tag generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.detection.spd import DetectorModel
+from repro.detection.timetags import BiphotonSource, thin_stream, uncorrelated_stream
+
+
+class TestDetectorModel:
+    def test_efficiency_thinning(self, rng):
+        det = DetectorModel(
+            efficiency=0.25, dark_count_rate_hz=0.0, jitter_sigma_s=0.0,
+            dead_time_s=0.0,
+        )
+        photons = np.sort(rng.uniform(0, 100.0, 200_000))
+        clicks = det.detect(photons, 100.0, rng)
+        assert abs(clicks.size / photons.size - 0.25) < 0.01
+
+    def test_dark_counts_only(self, rng):
+        det = DetectorModel(
+            efficiency=0.5, dark_count_rate_hz=1000.0, jitter_sigma_s=0.0,
+            dead_time_s=0.0,
+        )
+        clicks = det.detect(np.empty(0), 50.0, rng)
+        assert abs(clicks.size / 50.0 - 1000.0) < 50.0
+
+    def test_clicks_sorted(self, rng):
+        det = DetectorModel()
+        photons = rng.uniform(0, 1.0, 5000)
+        clicks = det.detect(photons, 1.0, rng)
+        assert np.all(np.diff(clicks) >= 0)
+
+    def test_dead_time_enforced(self, rng):
+        det = DetectorModel(
+            efficiency=1.0, dark_count_rate_hz=0.0, jitter_sigma_s=0.0,
+            dead_time_s=1e-3,
+        )
+        photons = np.sort(rng.uniform(0, 1.0, 10_000))
+        clicks = det.detect(photons, 1.0, rng)
+        assert clicks.size <= 1001
+        assert np.all(np.diff(clicks) >= 1e-3 - 1e-12)
+
+    def test_jitter_broadens(self, rng_factory):
+        photons = np.full(20_000, 0.5)
+        det = DetectorModel(
+            efficiency=1.0, dark_count_rate_hz=0.0, jitter_sigma_s=100e-12,
+            dead_time_s=0.0,
+        )
+        clicks = det.detect(photons, 1.0, rng_factory("jit"))
+        assert np.isclose(np.std(clicks - 0.5), 100e-12, rtol=0.05)
+
+    def test_expected_singles_rate(self):
+        det = DetectorModel(efficiency=0.1, dark_count_rate_hz=500.0)
+        assert det.expected_singles_rate_hz(1000.0) == 0.1 * 1000.0 + 500.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DetectorModel(efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            DetectorModel(dark_count_rate_hz=-1.0)
+        with pytest.raises(ConfigurationError):
+            DetectorModel().detect(np.empty(0), 0.0, None)
+
+
+class TestBiphotonSource:
+    def test_pair_rate_realised(self, rng):
+        src = BiphotonSource(pair_rate_hz=5000.0, linewidth_hz=110e6)
+        stream = src.generate(20.0, rng)
+        assert abs(stream.pair_rate_hz - 5000.0) / 5000.0 < 0.05
+
+    def test_delay_distribution_laplace(self, rng):
+        src = BiphotonSource(pair_rate_hz=50_000.0, linewidth_hz=110e6)
+        stream = src.generate(2.0, rng)
+        delays = stream.signal_times_s - stream.idler_times_s
+        # Laplace with rate Gamma = 2*pi*linewidth: mean |delay| = 1/Gamma.
+        gamma = 2 * np.pi * 110e6
+        assert np.isclose(np.mean(np.abs(delays)), 1.0 / gamma, rtol=0.03)
+        # Symmetric around zero.
+        assert abs(np.mean(delays)) < 0.2 / gamma
+
+    def test_correlation_decay_rate(self):
+        src = BiphotonSource(pair_rate_hz=1.0, linewidth_hz=110e6)
+        assert np.isclose(src.correlation_decay_rate, 2 * np.pi * 110e6)
+
+    def test_zero_rate_empty(self, rng):
+        src = BiphotonSource(pair_rate_hz=0.0, linewidth_hz=110e6)
+        stream = src.generate(1.0, rng)
+        assert stream.num_pairs == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BiphotonSource(pair_rate_hz=-1.0, linewidth_hz=1.0)
+        with pytest.raises(ConfigurationError):
+            BiphotonSource(pair_rate_hz=1.0, linewidth_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            BiphotonSource(1.0, 1e6).generate(0.0, None)
+
+
+class TestStreams:
+    def test_uncorrelated_rate(self, rng):
+        stream = uncorrelated_stream(2000.0, 10.0, rng)
+        assert abs(stream.size / 10.0 - 2000.0) < 200.0
+        assert np.all(np.diff(stream) >= 0)
+
+    def test_thin_stream_fraction(self, rng):
+        times = np.sort(rng.uniform(0, 1, 100_000))
+        kept = thin_stream(times, 0.3, rng)
+        assert abs(kept.size / times.size - 0.3) < 0.01
+
+    def test_thin_stream_unity_copies(self, rng):
+        times = np.array([1.0, 2.0])
+        kept = thin_stream(times, 1.0, rng)
+        assert np.array_equal(kept, times)
+        kept[0] = 99.0
+        assert times[0] == 1.0
+
+    def test_thin_stream_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            thin_stream(np.array([1.0]), 1.5, rng)

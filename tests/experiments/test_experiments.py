@@ -1,0 +1,165 @@
+"""Integration tests: every experiment driver reproduces its paper claim.
+
+These run the drivers in ``quick`` mode, so the assertion bands are wider
+than the paper's (statistics are reduced); the full-statistics runs live
+in the benchmark harness.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run each experiment once (module scope keeps the suite fast)."""
+    cache = {}
+
+    def get(key: str):
+        if key not in cache:
+            cache[key] = run_experiment(key, seed=0, quick=True)
+        return cache[key]
+
+    return get
+
+
+class TestRegistry:
+    def test_all_nine_registered(self):
+        assert sorted(EXPERIMENTS) == [f"E{i}" for i in range(1, 10)]
+
+    def test_case_insensitive_lookup(self):
+        assert get_experiment("e2") is EXPERIMENTS["E2"][0]
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("E42")
+
+
+class TestE1CoincidenceMatrix:
+    def test_diagonal_dominates(self, results):
+        res = results("E1")
+        assert res.metric("diagonal_rate_min_hz") > 5.0
+        assert res.metric("off_diagonal_rate_max_hz") < 2.0
+        assert res.metric("contrast") > 5.0
+
+    def test_renders(self, results):
+        text = results("E1").to_text()
+        assert "E1" in text and "s1" in text
+
+
+class TestE2CarRates:
+    def test_car_band_shape(self, results):
+        res = results("E2")
+        # Paper: 12.8-32.4.  Allow simulation statistics some slack.
+        assert 8.0 < res.metric("car_min") < 20.0
+        assert 20.0 < res.metric("car_max") < 45.0
+
+    def test_rate_band_shape(self, results):
+        res = results("E2")
+        # Paper: 14-29 Hz per channel.
+        assert 10.0 < res.metric("rate_min_hz") < 20.0
+        assert 20.0 < res.metric("rate_max_hz") < 25.0 + 12.0
+
+    def test_five_channels_simultaneous(self, results):
+        assert results("E2").metric("num_channels") == 5.0
+
+
+class TestE3Coherence:
+    def test_linewidth_recovered(self, results):
+        res = results("E3")
+        # Paper: 110 MHz.
+        assert abs(res.metric("linewidth_mhz") - 110.0) / 110.0 < 0.15
+
+    def test_coherence_time_nanoseconds(self, results):
+        res = results("E3")
+        assert 1.0 < res.metric("coherence_time_ns") < 2.0
+
+    def test_peak_visible_above_background(self, results):
+        assert results("E3").metric("peak_to_background") > 10.0
+
+
+class TestE4Stability:
+    def test_fluctuation_below_paper_bound(self, results):
+        assert results("E4").metric("fluctuation") < 0.05
+
+    def test_locked_beats_unlocked(self, results):
+        res = results("E4")
+        assert res.metric("fluctuation") < res.metric("unlocked_fluctuation")
+
+
+class TestE5TypeII:
+    def test_car_near_ten(self, results):
+        res = results("E5")
+        # Paper: CAR ~ 10 at 2 mW; quick-mode statistics widen the band.
+        assert 5.0 < res.metric("car") < 20.0
+        assert res.metric("pump_total_mw") == 2.0
+
+    def test_stimulated_suppressed(self, results):
+        assert results("E5").metric("stimulated_suppression_db") > 30.0
+
+
+class TestE6OPO:
+    def test_quadratic_below(self, results):
+        res = results("E6")
+        assert abs(res.metric("exponent_below_threshold") - 2.0) < 0.2
+
+    def test_linear_above(self, results):
+        assert results("E6").metric("linear_fit_relative_rms") < 0.1
+
+    def test_threshold_near_14mw(self, results):
+        res = results("E6")
+        assert abs(res.metric("threshold_estimate_mw") - 14.0) < 2.0
+
+
+class TestE7BellFringes:
+    def test_visibility_band(self, results):
+        res = results("E7")
+        # Paper: 83 % raw.
+        assert 0.75 < res.metric("visibility_mean") < 0.92
+
+    def test_all_channels_violate(self, results):
+        res = results("E7")
+        assert res.metric("channels_violating") == res.metric("num_channels")
+
+    def test_s_above_classical(self, results):
+        assert results("E7").metric("s_min") > 2.0
+
+    def test_state_horodecki_consistent(self, results):
+        res = results("E7")
+        assert res.metric("state_horodecki_s") > 2.0
+
+
+class TestE8FourPhoton:
+    def test_visibility_near_89(self, results):
+        res = results("E8")
+        assert abs(res.metric("visibility") - 0.89) < 0.08
+
+    def test_doubled_fringe_frequency(self, results):
+        assert results("E8").metric("fringe_periods_in_scan") == 2.0
+
+
+class TestE9Tomography:
+    def test_bell_fidelity_high(self, results):
+        res = results("E9")
+        assert res.metric("bell_fidelity") > 0.8
+        assert res.metric("bell_entangled") == 1.0
+
+    def test_four_photon_fidelity_band(self, results):
+        res = results("E9")
+        # Paper: 64 %.  Quick mode uses fewer shots; allow a wide band but
+        # require the characteristic drop below the Bell fidelity.
+        assert 0.35 < res.metric("four_photon_fidelity") < 0.85
+        assert res.metric("four_photon_fidelity") < res.metric("bell_fidelity")
+
+
+class TestResultContainer:
+    def test_missing_metric_raises(self, results):
+        with pytest.raises(KeyError):
+            results("E4").metric("not_a_metric")
+
+    def test_all_results_render(self, results):
+        for key in EXPERIMENTS:
+            text = results(key).to_text()
+            assert key in text
+            assert "paper:" in text

@@ -1,0 +1,45 @@
+"""Unit tests for the paper-vs-measured report generator."""
+
+import pytest
+
+from repro.experiments.report import (
+    ClaimComparison,
+    generate_report,
+    render_report,
+    _summarise,
+)
+from repro.experiments.registry import run_experiment
+
+
+class TestSummarise:
+    def test_every_experiment_has_a_mapping(self):
+        for key in (f"E{i}" for i in range(1, 10)):
+            result = run_experiment(key, seed=0, quick=True)
+            comparisons = _summarise(key, result)
+            assert comparisons, key
+            for comparison in comparisons:
+                assert comparison.experiment_id == key
+                assert comparison.paper_value
+                assert comparison.measured_value
+
+    def test_unknown_key_rejected(self):
+        result = run_experiment("E6", seed=0, quick=True)
+        with pytest.raises(KeyError):
+            _summarise("E42", result)
+
+
+class TestGenerateAndRender:
+    def test_full_report_all_shapes_ok(self):
+        comparisons = generate_report(seed=0, quick=True)
+        # Two claims for E2, E6, E7; one for the rest: 12 rows.
+        assert len(comparisons) == 12
+        assert all(c.within_shape for c in comparisons)
+
+    def test_render_contains_all_ids(self):
+        comparisons = [
+            ClaimComparison("E1", "claim", "x", "y", True),
+            ClaimComparison("E9", "claim", "x", "y", False),
+        ]
+        text = render_report(comparisons)
+        assert "E1" in text and "E9" in text
+        assert "yes" in text and "no" in text

@@ -1,0 +1,87 @@
+"""Unit tests for the high-dimensional frequency-bin extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.device import hydex_ring_high_q
+from repro.errors import ConfigurationError
+from repro.extensions.frequency_bin import FrequencyBinScheme
+
+
+class TestConstruction:
+    def test_default_dimension_four(self):
+        scheme = FrequencyBinScheme()
+        assert scheme.dimension == 4
+
+    def test_dimension_limited_by_device(self):
+        device = hydex_ring_high_q(num_tracked_pairs=3)
+        with pytest.raises(ConfigurationError):
+            FrequencyBinScheme(dimension=5, device=device)
+
+    def test_minimum_dimension(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyBinScheme(dimension=1)
+
+    def test_visibility_validation(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyBinScheme(visibility=1.2)
+
+
+class TestStates:
+    def test_ideal_ket_normalised(self):
+        ket = FrequencyBinScheme(dimension=4).ideal_ket()
+        assert np.isclose(np.linalg.norm(ket), 1.0)
+
+    def test_pair_state_dims(self):
+        state = FrequencyBinScheme(dimension=3).pair_state()
+        assert state.dims == (3, 3)
+
+    def test_balanced_source_high_fidelity(self):
+        scheme = FrequencyBinScheme(
+            dimension=4, visibility=1.0, line_imbalance=0.0
+        )
+        state = scheme.pair_state()
+        assert np.isclose(state.fidelity(scheme.ideal_ket()), 1.0, atol=1e-9)
+
+    def test_imbalance_lowers_fidelity(self):
+        balanced = FrequencyBinScheme(
+            dimension=4, visibility=1.0, line_imbalance=0.0
+        )
+        tilted = FrequencyBinScheme(
+            dimension=4, visibility=1.0, line_imbalance=0.2
+        )
+        f_bal = balanced.pair_state().fidelity(balanced.ideal_ket())
+        f_tilt = tilted.pair_state().fidelity(tilted.ideal_ket())
+        assert f_tilt < f_bal
+
+
+class TestCertification:
+    def test_default_certifies_full_dimension(self):
+        # The calibrated visibility (0.85) is high enough to certify d=4.
+        scheme = FrequencyBinScheme(dimension=4)
+        assert scheme.certified_dimension() == 4
+
+    def test_noisy_source_certifies_less(self):
+        scheme = FrequencyBinScheme(dimension=4, visibility=0.3)
+        assert scheme.certified_dimension() < 4
+
+    def test_key_rate_factor(self):
+        assert np.isclose(FrequencyBinScheme(dimension=4).key_rate_factor(), 2.0)
+
+
+class TestFringes:
+    def test_fringe_peak_at_zero(self):
+        scheme = FrequencyBinScheme(dimension=4)
+        phases = np.array([0.0, np.pi / 4.0])
+        values = scheme.fringe(phases)
+        assert values[0] > values[1]
+
+    def test_sharpness_decreases_with_dimension(self):
+        device = hydex_ring_high_q(num_tracked_pairs=7)
+        w2 = FrequencyBinScheme(dimension=2, device=device).fringe_sharpness()
+        w6 = FrequencyBinScheme(dimension=6, device=device).fringe_sharpness()
+        assert w6 < w2
+
+    def test_sharpness_validation(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyBinScheme().fringe_sharpness(num_points=4)

@@ -1,0 +1,91 @@
+"""Unit tests for the BBM92 QKD extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import TimeBinCalibration
+from repro.core.schemes import TimeBinScheme
+from repro.errors import ConfigurationError
+from repro.extensions.qkd import (
+    BBM92Link,
+    QBER_SECURITY_THRESHOLD,
+    QKDChannelReport,
+    binary_entropy,
+)
+
+
+class TestBinaryEntropy:
+    def test_extremes(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+
+    def test_maximum_at_half(self):
+        assert np.isclose(binary_entropy(0.5), 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            binary_entropy(1.5)
+
+
+class TestChannelReport:
+    def test_qber_and_rates(self):
+        report = QKDChannelReport(
+            channel_order=1, sifted_bits=1000, error_bits=50, duration_s=10.0
+        )
+        assert np.isclose(report.qber, 0.05)
+        assert np.isclose(report.sifted_rate_bps, 100.0)
+        assert report.secure
+        assert 0.0 < report.secret_fraction < 1.0
+
+    def test_high_qber_insecure(self):
+        report = QKDChannelReport(
+            channel_order=1, sifted_bits=1000, error_bits=150, duration_s=10.0
+        )
+        assert not report.secure
+        assert report.secret_fraction == 0.0
+
+    def test_empty_key(self):
+        report = QKDChannelReport(
+            channel_order=1, sifted_bits=0, error_bits=0, duration_s=10.0
+        )
+        assert report.qber == 1.0
+
+
+class TestBBM92Link:
+    def test_expected_qber_matches_paper_visibility(self):
+        link = BBM92Link()
+        # 83% effective visibility -> QBER ~ 8.5%, below threshold.
+        qber = link.expected_qber()
+        assert 0.06 < qber < QBER_SECURITY_THRESHOLD
+
+    def test_run_channel(self, rng):
+        link = BBM92Link()
+        report = link.run_channel(1, duration_s=30.0, rng=rng)
+        assert report.sifted_bits > 0
+        assert abs(report.qber - link.expected_qber()) < 0.03
+        assert report.secure
+
+    def test_all_channels_multiplexed(self, rng):
+        link = BBM92Link()
+        reports = link.run_all_channels(duration_s=20.0, rng=rng)
+        assert len(reports) == 5
+        assert all(r.secure for r in reports)
+        total = link.aggregate_secret_rate_bps(reports)
+        assert total > sum(r.secret_rate_bps for r in reports) * 0.999
+
+    def test_noisy_source_breaks_security(self, rng):
+        # Crank the pair probability: multi-pair noise pushes QBER over
+        # threshold and the link must report insecure.
+        noisy_calibration = TimeBinCalibration(mu_per_pulse=0.35)
+        link = BBM92Link(scheme=TimeBinScheme(calibration=noisy_calibration))
+        assert link.expected_qber() > QBER_SECURITY_THRESHOLD
+        report = link.run_channel(1, duration_s=30.0, rng=rng)
+        assert not report.secure
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            BBM92Link(basis_match_probability=0.0)
+        with pytest.raises(ConfigurationError):
+            BBM92Link().run_channel(0, 10.0, rng)
+        with pytest.raises(ConfigurationError):
+            BBM92Link().run_channel(1, 0.0, rng)

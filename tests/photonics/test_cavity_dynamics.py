@@ -1,0 +1,99 @@
+"""Unit tests for time-domain cavity dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.photonics.cavity_dynamics import CavityModeDynamics
+from repro.photonics.resonator import ring_for_linewidth
+from repro.photonics.waveguide import Waveguide
+
+
+@pytest.fixture(scope="module")
+def ring():
+    return ring_for_linewidth(Waveguide(), 200e9, 110e6)
+
+
+@pytest.fixture(scope="module")
+def dynamics(ring):
+    return CavityModeDynamics.from_ring(ring)
+
+
+class TestConstruction:
+    def test_from_ring_rates(self, ring, dynamics):
+        assert np.isclose(
+            dynamics.decay_rate, 2 * np.pi * ring.linewidth_hz(), rtol=1e-9
+        )
+        assert 0 < dynamics.external_coupling_rate <= dynamics.decay_rate
+
+    def test_photon_lifetime_consistent_with_ring(self, ring, dynamics):
+        # tau_energy = 1/kappa = 1/(2 pi linewidth); the ring reports the
+        # same photon lifetime.
+        assert np.isclose(
+            dynamics.photon_lifetime_s, ring.photon_lifetime_s(), rtol=1e-9
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CavityModeDynamics(decay_rate=0.0, external_coupling_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            CavityModeDynamics(decay_rate=1.0, external_coupling_rate=2.0)
+
+
+class TestSteadyState:
+    def test_buildup_converges_to_steady_state(self, dynamics):
+        steady = dynamics.steady_state_energy(1e-3)
+        _, energies = dynamics.simulate_buildup(
+            1e-3, duration_s=20 * dynamics.photon_lifetime_s
+        )
+        assert np.isclose(energies[-1], steady, rtol=1e-6)
+
+    def test_detuning_reduces_energy(self, dynamics):
+        on_res = dynamics.steady_state_energy(1e-3, 0.0)
+        detuned = dynamics.steady_state_energy(1e-3, dynamics.decay_rate)
+        assert detuned < on_res
+
+    def test_half_width_at_half_maximum(self, dynamics):
+        # At detuning kappa/2 the Lorentzian halves.
+        on_res = dynamics.steady_state_energy(1e-3, 0.0)
+        at_hwhm = dynamics.steady_state_energy(1e-3, dynamics.decay_rate / 2.0)
+        assert np.isclose(at_hwhm, on_res / 2.0, rtol=1e-9)
+
+    def test_transfer_matches_ring_lorentzian(self, ring, dynamics):
+        detunings_hz = np.linspace(-300e6, 300e6, 31)
+        cmt = dynamics.transfer_lorentzian(2 * np.pi * detunings_hz)
+        ring_response = np.abs(ring.lorentzian_amplitude(detunings_hz)) ** 2
+        assert np.allclose(cmt, ring_response, rtol=1e-6)
+
+
+class TestTransients:
+    def test_ringdown_rate(self, dynamics):
+        times, energies = dynamics.simulate_ringdown(1.0, 5e-9)
+        fitted = -np.polyfit(times, np.log(energies), 1)[0]
+        assert np.isclose(fitted, dynamics.decay_rate, rtol=1e-6)
+
+    def test_ringdown_time_is_biphoton_correlation_time(self, ring, dynamics):
+        # The Section II biphoton correlation decays at the cavity energy
+        # rate: 1/e at 1/(2 pi * 110 MHz) ~ 1.45 ns.
+        assert np.isclose(dynamics.photon_lifetime_s, 1.45e-9, atol=0.03e-9)
+
+    def test_buildup_monotone(self, dynamics):
+        _, energies = dynamics.simulate_buildup(
+            1e-3, duration_s=5 * dynamics.photon_lifetime_s
+        )
+        assert np.all(np.diff(energies) > -1e-30)
+
+    def test_buildup_time_fraction(self, dynamics):
+        t90 = dynamics.buildup_time_to_fraction(0.9)
+        _, energies = dynamics.simulate_buildup(1e-3, duration_s=t90,
+                                                num_steps=4000)
+        steady = dynamics.steady_state_energy(1e-3)
+        assert np.isclose(energies[-1] / steady, 0.9, atol=0.01)
+
+    def test_validation(self, dynamics):
+        with pytest.raises(ConfigurationError):
+            dynamics.simulate_buildup(-1.0, 1e-9)
+        with pytest.raises(ConfigurationError):
+            dynamics.simulate_ringdown(1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            dynamics.buildup_time_to_fraction(1.5)

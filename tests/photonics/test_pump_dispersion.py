@@ -1,0 +1,139 @@
+"""Unit tests for pump configurations and dispersion utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.photonics import dispersion
+from repro.photonics.pump import (
+    CWPump,
+    DoublePulsePump,
+    DualPolarizationPump,
+    SelfLockedPump,
+)
+from repro.photonics.resonator import ring_for_linewidth
+from repro.photonics.waveguide import Waveguide
+
+LAMBDA = 1550e-9
+
+
+class TestCWPump:
+    def test_average_power(self):
+        assert CWPump(power_w=2e-3).average_power_w() == 2e-3
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CWPump(power_w=-1.0)
+
+
+class TestSelfLockedPump:
+    def test_power_series_mean(self, rng):
+        pump = SelfLockedPump(power_w=15e-3, relative_drift_std=0.008)
+        series = pump.power_series_w(30 * 86400.0, 3600.0, rng)
+        assert np.isclose(series.mean(), 15e-3, rtol=0.02)
+
+    def test_power_series_bounded_fluctuation(self, rng):
+        # The paper claim: < 5% fluctuation over weeks.
+        pump = SelfLockedPump(power_w=15e-3, relative_drift_std=0.008)
+        series = pump.power_series_w(30 * 86400.0, 3600.0, rng)
+        half_peak_to_peak = (series.max() - series.min()) / (2 * series.mean())
+        assert half_peak_to_peak < 0.05
+
+    def test_series_reproducible(self, rng_factory):
+        pump = SelfLockedPump()
+        a = pump.power_series_w(86400.0, 600.0, rng_factory("s"))
+        b = pump.power_series_w(86400.0, 600.0, rng_factory("s"))
+        assert np.allclose(a, b)
+
+    def test_zero_drift_constant(self, rng):
+        pump = SelfLockedPump(power_w=10e-3, relative_drift_std=0.0)
+        series = pump.power_series_w(3600.0, 60.0, rng)
+        assert np.allclose(series, 10e-3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SelfLockedPump(relative_drift_std=0.9)
+        with pytest.raises(ConfigurationError):
+            SelfLockedPump().power_series_w(0.0, 1.0, None)
+
+
+class TestDualPolarizationPump:
+    def test_balanced_split(self):
+        pump = DualPolarizationPump.balanced(2e-3)
+        assert pump.power_te_w == 1e-3
+        assert pump.power_tm_w == 1e-3
+        assert pump.total_power_w == 2e-3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DualPolarizationPump(power_te_w=-1.0, power_tm_w=1.0)
+
+
+class TestDoublePulsePump:
+    def test_pair_phase_doubles_pump_phase(self):
+        pump = DoublePulsePump(relative_phase_rad=0.7)
+        assert np.isclose(pump.pair_state_phase_rad, 1.4)
+
+    def test_with_phase_copies(self):
+        pump = DoublePulsePump()
+        shifted = pump.with_phase(1.0)
+        assert shifted.relative_phase_rad == 1.0
+        assert pump.relative_phase_rad == 0.0
+        assert shifted.pulse_separation_s == pump.pulse_separation_s
+
+    def test_average_power(self):
+        pump = DoublePulsePump(pulse_energy_j=1e-12, repetition_rate_hz=16.8e6)
+        assert np.isclose(pump.average_power_w(), 2 * 1e-12 * 16.8e6)
+
+    def test_overlapping_pulses_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DoublePulsePump(pulse_separation_s=40e-9, repetition_rate_hz=16.8e6)
+
+    def test_invalid_separation(self):
+        with pytest.raises(ConfigurationError):
+            DoublePulsePump(pulse_separation_s=0.0)
+
+
+class TestDispersion:
+    def test_beta2_finite(self):
+        wg = Waveguide()
+        beta2 = dispersion.beta2_s2_per_m(wg, LAMBDA)
+        assert np.isfinite(beta2)
+        # Hydex guides sit within +/- 100 ps^2/km of zero dispersion.
+        assert abs(beta2) < 100e-27 * 1e3
+
+    def test_d_parameter_sign_consistent(self):
+        wg = Waveguide()
+        beta2 = dispersion.beta2_s2_per_m(wg, LAMBDA)
+        d = dispersion.dispersion_parameter_ps_nm_km(wg, LAMBDA)
+        assert np.sign(d) == -np.sign(beta2)
+
+    def test_integrated_dispersion_quadratic_ladder(self):
+        orders = np.arange(-5, 6, dtype=float)
+        d2 = 1e5
+        freqs = 193e12 + orders * 200e9 + 0.5 * d2 * orders**2
+        dint = dispersion.integrated_dispersion_hz(freqs, orders)
+        # D_int should be d2/2 * m^2 minus the local-FSR linear part.
+        assert np.isclose(dint[0], dint[-1], rtol=1e-6)
+        assert dint[0] > 0
+
+    def test_integrated_dispersion_validation(self):
+        with pytest.raises(ConfigurationError):
+            dispersion.integrated_dispersion_hz(np.array([1.0, 2.0]), np.array([0, 1]))
+
+    def test_d2_fit_recovers_value(self):
+        orders = np.arange(-6, 7, dtype=float)
+        d2 = 5e4
+        freqs = 193e12 + orders * 200e9 + 0.5 * d2 * orders**2
+        assert np.isclose(dispersion.d2_from_ladder(freqs, orders), d2, rtol=1e-6)
+
+    def test_fsr_mismatch_small_for_near_square(self):
+        wg = Waveguide()
+        ring = ring_for_linewidth(wg, 200e9, 800e6)
+        mismatch = dispersion.fsr_mismatch_hz(wg, ring.circumference_m, LAMBDA)
+        # Near-square Hydex guide: TE/TM FSR difference well below 1 GHz.
+        assert abs(mismatch) < 1e9
+
+    def test_fsr_mismatch_validation(self):
+        with pytest.raises(ConfigurationError):
+            dispersion.fsr_mismatch_hz(Waveguide(), 0.0, LAMBDA)

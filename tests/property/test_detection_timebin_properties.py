@@ -1,0 +1,158 @@
+"""Property-based tests of detection and time-bin invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.detection.coincidence import count_coincidences, expected_car
+from repro.detection.spd import _apply_dead_time
+from repro.detection.tdc import collect_delays
+from repro.detection.timetags import thin_stream
+from repro.quantum.states import DensityMatrix
+from repro.timebin.postselect import (
+    central_slot_povm,
+    coincidence_probability,
+    ideal_twofold_fringe,
+)
+from repro.timebin.encoding import time_bin_bell_state
+from repro.utils.fitting import fit_fringe
+from repro.utils.rng import RandomStream
+
+from tests.property.strategies import density_matrices, phases
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+time_arrays = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=0,
+    max_size=60,
+).map(lambda values: np.sort(np.array(values)))
+
+
+class TestCoincidenceSymmetry:
+    @SETTINGS
+    @given(time_arrays, time_arrays, st.floats(min_value=1e-6, max_value=0.5))
+    def test_count_symmetric_under_swap(self, a, b, window):
+        forward = count_coincidences(a, b, window)
+        backward = count_coincidences(b, a, window)
+        assert forward == backward
+
+    @SETTINGS
+    @given(time_arrays, time_arrays, st.floats(min_value=1e-6, max_value=0.3))
+    def test_count_bounded_by_pairs(self, a, b, window):
+        count = count_coincidences(a, b, window)
+        assert 0 <= count <= a.size * b.size
+
+    @SETTINGS
+    @given(time_arrays, st.floats(min_value=1e-6, max_value=0.5))
+    def test_delays_match_bruteforce(self, a, window):
+        b = a + window / 3.0
+        fast = np.sort(collect_delays(a, b, window))
+        brute = np.sort(
+            np.array(
+                [
+                    bj - ai
+                    for ai in a
+                    for bj in b
+                    if abs(bj - ai) <= window
+                ]
+            )
+        )
+        assert fast.size == brute.size
+        if fast.size:
+            assert np.allclose(fast, brute)
+
+
+class TestDeadTime:
+    @SETTINGS
+    @given(time_arrays, st.floats(min_value=1e-4, max_value=0.2))
+    def test_kept_clicks_respect_dead_time(self, times, dead_time):
+        kept = _apply_dead_time(times, dead_time)
+        if kept.size > 1:
+            assert np.all(np.diff(kept) >= dead_time - 1e-15)
+
+    @SETTINGS
+    @given(time_arrays, st.floats(min_value=1e-4, max_value=0.2))
+    def test_kept_is_subset(self, times, dead_time):
+        kept = _apply_dead_time(times, dead_time)
+        assert kept.size <= times.size
+        assert np.all(np.isin(kept, times))
+
+    @SETTINGS
+    @given(time_arrays, st.floats(min_value=1e-4, max_value=0.2))
+    def test_first_click_always_kept(self, times, dead_time):
+        assume(times.size > 0)
+        kept = _apply_dead_time(times, dead_time)
+        assert kept[0] == times[0]
+
+
+class TestThinning:
+    @SETTINGS
+    @given(
+        time_arrays,
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_thinning_subset_and_sorted(self, times, transmission, seed):
+        rng = RandomStream(seed)
+        kept = thin_stream(times, transmission, rng)
+        assert kept.size <= times.size
+        assert np.all(np.isin(kept, times))
+
+
+class TestExpectedCar:
+    @SETTINGS
+    @given(
+        st.floats(min_value=0.0, max_value=1e5),
+        st.floats(min_value=1.0, max_value=1e6),
+        st.floats(min_value=1e-12, max_value=1e-7),
+    )
+    def test_car_at_least_one(self, true_rate, singles, window):
+        car = expected_car(true_rate, singles, singles, window)
+        assert car >= 1.0
+
+
+class TestTimeBinInvariants:
+    @SETTINGS
+    @given(phases, st.floats(min_value=0.01, max_value=1.0))
+    def test_povm_positive_and_bounded(self, phase, transmission):
+        povm = central_slot_povm(phase, transmission)
+        eigenvalues = np.linalg.eigvalsh(povm)
+        assert eigenvalues.min() >= -1e-12
+        assert eigenvalues.max() <= transmission / 2.0 + 1e-12
+
+    @SETTINGS
+    @given(phases)
+    def test_povm_pair_resolves_half_identity(self, phase):
+        total = central_slot_povm(phase) + central_slot_povm(phase + np.pi)
+        assert np.allclose(total, np.eye(2) / 2.0, atol=1e-12)
+
+    @SETTINGS
+    @given(density_matrices((2, 2), rank=2), phases, phases)
+    def test_coincidence_probability_in_unit_interval(self, state, pa, pb):
+        p = coincidence_probability(state, [pa, pb])
+        assert 0.0 <= p <= 0.25 + 1e-12
+
+    @SETTINGS
+    @given(phases, phases, phases)
+    def test_bell_fringe_matches_closed_form(self, pa, pb, pump_phase):
+        state = DensityMatrix.from_ket(time_bin_bell_state(pump_phase), [2, 2])
+        povm_value = coincidence_probability(state, [pa, pb])
+        analytic = ideal_twofold_fringe(
+            np.array([pa + pb]), pair_phase_rad=2 * pump_phase
+        )[0]
+        assert np.isclose(povm_value, analytic, atol=1e-10)
+
+
+class TestFringeFitRecovery:
+    @SETTINGS
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=-np.pi, max_value=np.pi),
+        st.floats(min_value=1.0, max_value=1e4),
+    )
+    def test_exact_fringe_recovered(self, visibility, phase, offset):
+        scan = np.linspace(0, 2 * np.pi, 24, endpoint=False)
+        counts = offset * (1.0 + visibility * np.cos(scan + phase))
+        fit = fit_fringe(scan, counts)
+        assert np.isclose(fit.visibility, visibility, atol=1e-9)
+        assert np.isclose(fit.offset, offset, rtol=1e-9)

@@ -1,0 +1,104 @@
+"""Unit tests for the truncated Fock space."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PhysicsError
+from repro.quantum.fock import FockSpace
+
+
+class TestLadderOperators:
+    def test_commutator_on_low_levels(self):
+        space = FockSpace(20)
+        a = space.annihilation()
+        adag = space.creation()
+        commutator = a @ adag - adag @ a
+        # [a, a†] = 1 except at the truncation edge.
+        assert np.allclose(np.diag(commutator)[:-1], 1.0)
+
+    def test_annihilation_lowers(self):
+        space = FockSpace(5)
+        a = space.annihilation()
+        two = space.number_state(2)
+        lowered = a @ two
+        assert np.isclose(np.vdot(space.number_state(1), lowered), np.sqrt(2.0))
+
+    def test_number_operator_diagonal(self):
+        space = FockSpace(4)
+        assert np.allclose(np.diag(space.number()).real, [0, 1, 2, 3])
+
+    def test_number_equals_adag_a(self):
+        space = FockSpace(6)
+        assert np.allclose(space.creation() @ space.annihilation(), space.number())
+
+
+class TestStates:
+    def test_vacuum_mean_zero(self):
+        space = FockSpace(4)
+        assert space.mean_photon_number(space.vacuum()) == 0.0
+
+    def test_number_state_out_of_range(self):
+        space = FockSpace(4)
+        with pytest.raises(ValueError):
+            space.number_state(4)
+
+    def test_coherent_state_mean(self):
+        space = FockSpace(30)
+        alpha = 1.5
+        ket = space.coherent_state(alpha)
+        assert np.isclose(space.mean_photon_number(ket), abs(alpha) ** 2, rtol=1e-3)
+
+    def test_coherent_zero_is_vacuum(self):
+        space = FockSpace(4)
+        assert np.allclose(space.coherent_state(0), space.vacuum())
+
+    def test_coherent_truncation_guard(self):
+        space = FockSpace(4)
+        with pytest.raises(PhysicsError):
+            space.coherent_state(3.0)
+
+    def test_thermal_state_mean(self):
+        space = FockSpace(60)
+        rho = space.thermal_state(0.5)
+        assert np.isclose(space.mean_photon_number(rho), 0.5, rtol=1e-6)
+
+    def test_thermal_zero_is_vacuum(self):
+        space = FockSpace(4)
+        rho = space.thermal_state(0.0)
+        assert np.isclose(rho[0, 0].real, 1.0)
+
+    def test_thermal_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FockSpace(4).thermal_state(-0.1)
+
+
+class TestG2:
+    def test_thermal_g2_is_two(self):
+        space = FockSpace(80)
+        rho = space.thermal_state(0.3)
+        assert np.isclose(space.g2_zero(rho), 2.0, rtol=1e-4)
+
+    def test_coherent_g2_is_one(self):
+        space = FockSpace(30)
+        ket = space.coherent_state(1.0)
+        assert np.isclose(space.g2_zero(ket), 1.0, rtol=1e-3)
+
+    def test_single_photon_g2_zero(self):
+        space = FockSpace(4)
+        assert np.isclose(space.g2_zero(space.number_state(1)), 0.0, atol=1e-12)
+
+    def test_vacuum_g2_undefined(self):
+        space = FockSpace(4)
+        with pytest.raises(PhysicsError):
+            space.g2_zero(space.vacuum())
+
+    def test_two_photon_fock_g2(self):
+        space = FockSpace(5)
+        # g2 of |n> is (n-1)/n; for n=2 that is 0.5.
+        assert np.isclose(space.g2_zero(space.number_state(2)), 0.5)
+
+
+class TestValidation:
+    def test_cutoff_minimum(self):
+        with pytest.raises(ValueError):
+            FockSpace(1)

@@ -1,0 +1,147 @@
+"""Unit tests for the qudit (high-dimensional) machinery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError, PhysicsError
+from repro.quantum.qudits import (
+    certified_dimension,
+    fourier_basis_ket,
+    maximally_entangled_qudit_pair,
+    qudit_fringe_probability,
+    qudit_ket,
+    qudit_white_noise,
+    schmidt_rank_vector,
+)
+from repro.quantum.states import DensityMatrix
+
+
+class TestQuditStates:
+    def test_basis_ket(self):
+        ket = qudit_ket(4, 2)
+        assert ket.shape == (4,)
+        assert ket[2] == 1.0
+
+    def test_maximally_entangled_normalised(self):
+        for d in (2, 3, 4, 6):
+            ket = maximally_entangled_qudit_pair(d)
+            assert np.isclose(np.linalg.norm(ket), 1.0)
+
+    def test_d2_matches_bell(self):
+        from repro.quantum.qubits import bell_state
+
+        ket = maximally_entangled_qudit_pair(2)
+        assert np.isclose(abs(np.vdot(ket, bell_state("phi+"))), 1.0)
+
+    def test_phases_applied(self):
+        phases = np.array([0.0, np.pi])
+        ket = maximally_entangled_qudit_pair(2, phases)
+        assert np.isclose(ket[3].real, -ket[0].real)
+
+    def test_wrong_phase_count_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            maximally_entangled_qudit_pair(3, np.zeros(2))
+
+    def test_dimension_minimum(self):
+        with pytest.raises(PhysicsError):
+            maximally_entangled_qudit_pair(1)
+
+
+class TestFourierBasis:
+    def test_orthonormal(self):
+        d = 5
+        vectors = [fourier_basis_ket(d, j) for j in range(d)]
+        gram = np.array(
+            [[np.vdot(a, b) for b in vectors] for a in vectors]
+        )
+        assert np.allclose(gram, np.eye(d), atol=1e-12)
+
+    def test_mutually_unbiased_with_computational(self):
+        d = 4
+        for j in range(d):
+            vector = fourier_basis_ket(d, j)
+            overlaps = np.abs(vector) ** 2
+            assert np.allclose(overlaps, 1.0 / d)
+
+    def test_index_validation(self):
+        with pytest.raises(PhysicsError):
+            fourier_basis_ket(3, 3)
+
+
+class TestSchmidtRank:
+    def test_maximal_state_full_rank(self):
+        for d in (2, 3, 4):
+            state = DensityMatrix.from_ket(
+                maximally_entangled_qudit_pair(d), [d, d]
+            )
+            assert schmidt_rank_vector(state) == d
+
+    def test_product_state_rank_one(self):
+        ket = np.kron(qudit_ket(3, 0), qudit_ket(3, 1))
+        state = DensityMatrix.from_ket(ket, [3, 3])
+        assert schmidt_rank_vector(state) == 1
+
+    def test_mixed_state_rejected(self):
+        state = DensityMatrix.maximally_mixed([2, 2])
+        with pytest.raises(PhysicsError):
+            schmidt_rank_vector(state)
+
+    def test_non_bipartite_rejected(self):
+        state = DensityMatrix.maximally_mixed([2, 2, 2])
+        with pytest.raises(DimensionMismatchError):
+            schmidt_rank_vector(state)
+
+
+class TestCertifiedDimension:
+    def test_pure_maximal_certifies_full(self):
+        for d in (2, 3, 4):
+            state = DensityMatrix.from_ket(
+                maximally_entangled_qudit_pair(d), [d, d]
+            )
+            assert certified_dimension(state) == d
+
+    def test_white_noise_reduces_certificate(self):
+        d = 4
+        pure = DensityMatrix.from_ket(maximally_entangled_qudit_pair(d), [d, d])
+        noisy = qudit_white_noise(pure, 0.5)
+        assert certified_dimension(noisy) < d
+
+    def test_fully_mixed_certifies_one(self):
+        state = DensityMatrix.maximally_mixed([3, 3])
+        assert certified_dimension(state) == 1
+
+    def test_unequal_dims_rejected(self):
+        state = DensityMatrix.maximally_mixed([2, 3])
+        with pytest.raises(DimensionMismatchError):
+            certified_dimension(state)
+
+
+class TestQuditFringes:
+    def test_peak_at_zero(self):
+        d = 4
+        state = DensityMatrix.from_ket(maximally_entangled_qudit_pair(d), [d, d])
+        peak = qudit_fringe_probability(state, 0.0)
+        side = qudit_fringe_probability(state, np.pi / d)
+        assert peak > side
+
+    def test_fringe_narrows_with_dimension(self):
+        def width(d):
+            state = DensityMatrix.from_ket(
+                maximally_entangled_qudit_pair(d), [d, d]
+            )
+            phases = np.linspace(-np.pi / 2, np.pi / 2, 201)
+            values = np.array(
+                [qudit_fringe_probability(state, p) for p in phases]
+            )
+            half = values.max() / 2.0
+            above = phases[values >= half]
+            return above.max() - above.min()
+
+        assert width(4) < width(2)
+
+    def test_probability_bounds(self):
+        d = 3
+        state = DensityMatrix.from_ket(maximally_entangled_qudit_pair(d), [d, d])
+        for phase in np.linspace(0, 2 * np.pi, 17):
+            p = qudit_fringe_probability(state, float(phase))
+            assert 0.0 <= p <= 1.0

@@ -1,0 +1,152 @@
+"""Unit tests for state tomography (simulation, inversion, MLE)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TomographyError
+from repro.quantum import tomography
+from repro.quantum.noise import add_white_noise
+from repro.quantum.qubits import bell_state, computational_ket
+from repro.quantum.states import DensityMatrix, ket_to_density
+
+
+@pytest.fixture
+def bell():
+    return ket_to_density(bell_state("phi+"), [2, 2])
+
+
+class TestSettings:
+    def test_single_qubit_settings(self):
+        assert tomography.measurement_settings(1) == ["X", "Y", "Z"]
+
+    def test_two_qubit_count(self):
+        assert len(tomography.measurement_settings(2)) == 9
+
+    def test_four_qubit_count(self):
+        assert len(tomography.measurement_settings(4)) == 81
+
+    def test_projectors_complete(self):
+        for setting in ("X", "ZZ", "XY"):
+            projs = tomography.setting_projectors(setting)
+            total = sum(projs)
+            assert np.allclose(total, np.eye(2 ** len(setting)))
+
+    def test_projectors_orthogonal(self):
+        projs = tomography.setting_projectors("XZ")
+        for i, a in enumerate(projs):
+            for j, b in enumerate(projs):
+                product = a @ b
+                if i == j:
+                    assert np.allclose(product, a)
+                else:
+                    assert np.allclose(product, np.zeros_like(a), atol=1e-12)
+
+    def test_invalid_setting_rejected(self):
+        with pytest.raises(TomographyError):
+            tomography.setting_projectors("XI")
+
+
+class TestSimulatedCounts:
+    def test_counts_shape_and_total(self, bell, rng):
+        counts = tomography.simulate_pauli_counts(bell, 500, rng)
+        assert set(counts) == set(tomography.measurement_settings(2))
+        for array in counts.values():
+            assert array.shape == (4,)
+            assert array.sum() == 500
+
+    def test_zz_perfect_correlation(self, bell, rng):
+        counts = tomography.simulate_pauli_counts(bell, 2000, rng, settings=["ZZ"])
+        array = counts["ZZ"]
+        # phi+ has support only on |00> and |11>: outcomes 0 and 3.
+        assert array[1] == 0
+        assert array[2] == 0
+
+    def test_rejects_non_qubit_state(self, rng):
+        state = DensityMatrix.maximally_mixed([3])
+        with pytest.raises(TomographyError):
+            tomography.simulate_pauli_counts(state, 10, rng)
+
+
+class TestPauliExpectations:
+    def test_bell_expectations(self, bell, rng):
+        counts = tomography.simulate_pauli_counts(bell, 4000, rng)
+        expectations = tomography.pauli_expectations_from_counts(counts, 2)
+        assert np.isclose(expectations["XX"], 1.0, atol=0.05)
+        assert np.isclose(expectations["YY"], -1.0, atol=0.05)
+        assert np.isclose(expectations["ZZ"], 1.0, atol=0.05)
+        assert np.isclose(expectations["XZ"], 0.0, atol=0.08)
+        assert expectations["II"] == 1.0
+
+    def test_marginal_expectation_uses_all_settings(self, rng):
+        # <ZI> for |0><0| x I/2 should be ~1 from any setting with Z first.
+        state = ket_to_density(computational_ket("0")).tensor(
+            DensityMatrix.maximally_mixed([2])
+        )
+        counts = tomography.simulate_pauli_counts(state, 3000, rng)
+        expectations = tomography.pauli_expectations_from_counts(counts, 2)
+        assert np.isclose(expectations["ZI"], 1.0, atol=0.05)
+        assert np.isclose(expectations["IZ"], 0.0, atol=0.08)
+
+
+class TestLinearInversion:
+    def test_reconstructs_bell(self, bell, rng):
+        counts = tomography.simulate_pauli_counts(bell, 5000, rng)
+        raw = tomography.linear_inversion(counts, 2)
+        state = tomography.project_to_physical_state(raw)
+        assert state.fidelity(bell) > 0.97
+
+    def test_trace_one(self, bell, rng):
+        counts = tomography.simulate_pauli_counts(bell, 1000, rng)
+        raw = tomography.linear_inversion(counts, 2)
+        assert np.isclose(np.trace(raw).real, 1.0)
+
+
+class TestMLE:
+    def test_reconstructs_pure_bell(self, bell, rng):
+        counts = tomography.simulate_pauli_counts(bell, 3000, rng)
+        result = tomography.mle_tomography(counts, 2)
+        assert result.fidelity(bell) > 0.97
+        assert result.converged
+
+    def test_reconstructs_werner(self, bell, rng):
+        werner = add_white_noise(bell, 0.8)
+        counts = tomography.simulate_pauli_counts(werner, 5000, rng)
+        result = tomography.mle_tomography(counts, 2)
+        assert result.fidelity(werner) > 0.98
+
+    def test_single_qubit(self, rng):
+        state = ket_to_density(computational_ket("0"))
+        counts = tomography.simulate_pauli_counts(state, 2000, rng)
+        result = tomography.mle_tomography(counts, 1)
+        assert result.fidelity(state) > 0.98
+
+    def test_result_is_physical(self, bell, rng):
+        counts = tomography.simulate_pauli_counts(bell, 200, rng)
+        result = tomography.mle_tomography(counts, 2)
+        eigenvalues = np.linalg.eigvalsh(result.state.matrix)
+        assert eigenvalues.min() >= -1e-9
+        assert np.isclose(np.trace(result.state.matrix).real, 1.0)
+
+    def test_diluted_variant_converges(self, bell, rng):
+        counts = tomography.simulate_pauli_counts(bell, 1000, rng)
+        result = tomography.mle_tomography(counts, 2, dilution=0.5)
+        assert result.fidelity(bell) > 0.95
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(TomographyError):
+            tomography.mle_tomography({}, 2)
+
+    def test_all_zero_counts_rejected(self):
+        counts = {"ZZ": np.zeros(4, dtype=int)}
+        with pytest.raises(TomographyError):
+            tomography.mle_tomography(counts, 2)
+
+    def test_wrong_count_shape_rejected(self):
+        counts = {"ZZ": np.zeros(3, dtype=int)}
+        with pytest.raises(TomographyError):
+            tomography.mle_tomography(counts, 2)
+
+    def test_bad_dilution_rejected(self, bell, rng):
+        counts = tomography.simulate_pauli_counts(bell, 100, rng)
+        with pytest.raises(TomographyError):
+            tomography.mle_tomography(counts, 2, dilution=0.0)

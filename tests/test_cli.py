@@ -1,0 +1,59 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "E2"])
+        assert args.experiment == "E2"
+        assert args.seed == 0
+        assert not args.quick
+
+    def test_run_options(self):
+        args = build_parser().parse_args(["run", "E5", "--seed", "7", "--quick"])
+        assert args.seed == 7
+        assert args.quick
+
+    def test_quick_and_full_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "E1", "--quick", "--full"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in ("E1", "E5", "E9"):
+            assert key in out
+
+    def test_device_output(self, capsys):
+        assert main(["device"]) == 0
+        out = capsys.readouterr().out
+        assert "hydex-high-q" in out
+        assert "hydex-type-ii" in out
+
+    def test_run_quick_experiment(self, capsys):
+        assert main(["run", "E6", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "[E6]" in out
+        assert "paper:" in out
+
+    def test_run_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["run", "E42"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+    def test_run_case_insensitive(self, capsys):
+        assert main(["run", "e6", "--quick"]) == 0
+        assert "[E6]" in capsys.readouterr().out

@@ -1,0 +1,43 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            errors.ConfigurationError,
+            errors.PhysicsError,
+            errors.StateValidationError,
+            errors.DimensionMismatchError,
+            errors.TomographyError,
+            errors.FitError,
+        ):
+            assert issubclass(exc, errors.ReproError)
+
+    def test_value_error_compatibility(self):
+        # Configuration and physics errors double as ValueErrors so code
+        # written against stdlib conventions still catches them.
+        assert issubclass(errors.ConfigurationError, ValueError)
+        assert issubclass(errors.PhysicsError, ValueError)
+        assert issubclass(errors.DimensionMismatchError, ValueError)
+
+    def test_runtime_error_compatibility(self):
+        assert issubclass(errors.TomographyError, RuntimeError)
+        assert issubclass(errors.FitError, RuntimeError)
+
+    def test_state_validation_is_physics(self):
+        assert issubclass(errors.StateValidationError, errors.PhysicsError)
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.FitError("fit failed")
+
+    def test_library_raises_through_public_api(self):
+        from repro.quantum.states import DensityMatrix
+        import numpy as np
+
+        with pytest.raises(errors.ReproError):
+            DensityMatrix(np.eye(3, dtype=complex))  # trace 3

@@ -1,0 +1,114 @@
+"""Unit tests for the click-level time-bin Monte Carlo."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.quantum.noise import add_white_noise
+from repro.quantum.states import DensityMatrix
+from repro.timebin.encoding import time_bin_bell_state
+from repro.timebin.interferometer import UnbalancedMichelson
+from repro.timebin.montecarlo import (
+    TimeBinCoincidenceSimulator,
+    slot_povms,
+)
+from repro.timebin.postselect import coincidence_probability
+from repro.utils.fitting import fit_fringe
+
+
+def make_simulator(state_visibility=1.0, phase_a=0.0, phase_b=0.0):
+    state = DensityMatrix.from_ket(time_bin_bell_state(0.0), [2, 2])
+    if state_visibility < 1.0:
+        state = add_white_noise(state, state_visibility)
+    return TimeBinCoincidenceSimulator(
+        state=state,
+        alice=UnbalancedMichelson(phase_rad=phase_a),
+        bob=UnbalancedMichelson(phase_rad=phase_b),
+    )
+
+
+class TestSlotPOVMs:
+    def test_four_outcomes_sum_to_identity(self):
+        povms = slot_povms(0.7)
+        assert np.allclose(sum(povms), np.eye(2), atol=1e-12)
+
+    def test_all_positive(self):
+        for povm in slot_povms(1.3):
+            assert np.linalg.eigvalsh(povm).min() >= -1e-12
+
+    def test_side_slots_reveal_time_bin(self):
+        povms = slot_povms(0.0)
+        early = np.array([1.0, 0.0], dtype=complex)
+        assert np.isclose(early.conj() @ povms[0] @ early, 0.25)
+        assert np.isclose(early.conj() @ povms[2] @ early, 0.0)
+
+    def test_transmission_validation(self):
+        with pytest.raises(ConfigurationError):
+            slot_povms(0.0, transmission=0.0)
+
+
+class TestJointDistribution:
+    def test_matches_povm_path(self):
+        for pa, pb in [(0.0, 0.0), (0.4, 1.1), (2.0, -0.5)]:
+            simulator = make_simulator(0.85, pa, pb)
+            joint = simulator.joint_slot_distribution()
+            povm_value = coincidence_probability(simulator.state, [pa, pb])
+            assert np.isclose(joint[1, 1], povm_value, atol=1e-12)
+
+    def test_side_slot_correlations_diagonal(self):
+        # For phi+, photons share their time bin: slot0-slot2 combinations
+        # (opposite bins) must be forbidden.
+        simulator = make_simulator(1.0)
+        joint = simulator.joint_slot_distribution()
+        assert joint[0, 2] < 1e-12
+        assert joint[2, 0] < 1e-12
+        assert joint[0, 0] > 0.01
+        assert joint[2, 2] > 0.01
+
+    def test_normalised(self):
+        joint = make_simulator(0.7, 1.0, 2.0).joint_slot_distribution()
+        assert np.isclose(joint.sum(), 1.0, atol=1e-9)
+
+
+class TestSimulation:
+    def test_tags_sorted_and_sized(self, rng):
+        simulator = make_simulator(0.9)
+        record = simulator.simulate(5000, rng)
+        assert record.alice_tags_s.size <= 5000
+        assert record.bob_tags_s.size <= 5000
+        # Half the photons exit the Michelson's unmonitored port, so the
+        # detected fraction averages 1/2.
+        assert abs(record.alice_tags_s.size - 2500) < 200
+
+    def test_central_coincidences_match_distribution(self, rng):
+        simulator = make_simulator(0.85)
+        joint = simulator.joint_slot_distribution()
+        n = 40_000
+        record = simulator.simulate(n, rng)
+        counted = simulator.count_central_coincidences(record)
+        expected = n * joint[1, 1]
+        assert abs(counted - expected) < 5 * np.sqrt(expected)
+
+    def test_fringe_visibility_matches_state(self, rng):
+        simulator = make_simulator(0.85)
+        phases = np.linspace(0, 2 * np.pi, 16, endpoint=False)
+        counts = simulator.fringe_scan(phases, pairs_per_point=20_000, rng=rng)
+        fit = fit_fringe(phases, counts)
+        assert abs(fit.visibility - 0.85) < 0.04
+
+    def test_validation(self, rng):
+        simulator = make_simulator()
+        with pytest.raises(ConfigurationError):
+            simulator.simulate(0, rng)
+        with pytest.raises(ConfigurationError):
+            TimeBinCoincidenceSimulator(
+                state=DensityMatrix.maximally_mixed([2, 2]),
+                alice=UnbalancedMichelson(imbalance_s=50e-9),
+                bob=UnbalancedMichelson(),
+            )
+        with pytest.raises(ConfigurationError):
+            TimeBinCoincidenceSimulator(
+                state=DensityMatrix.maximally_mixed([2]),
+                alice=UnbalancedMichelson(),
+                bob=UnbalancedMichelson(),
+            )
