@@ -32,15 +32,6 @@ Sub-packages
     One driver per quantitative claim of the paper (E1..E9).
 """
 
-from repro.core.source import QuantumCombSource
-from repro.core.device import hydex_ring_high_q, hydex_ring_type_ii
-from repro.core.schemes import (
-    HeraldedSingleScheme,
-    MultiPhotonScheme,
-    TimeBinScheme,
-    TypeIIScheme,
-)
-from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.errors import (
     ConfigurationError,
     DimensionMismatchError,
@@ -52,6 +43,26 @@ from repro.errors import (
 )
 
 __version__ = "1.0.0"
+
+from repro._lazy import lazy_exports
+
+#: Lazily exported names (PEP 562) and the module each lives in.  The
+#: physics stack costs ~1s of numpy-heavy imports; deferring it keeps
+#: cache-served CLI invocations (`repro sweep`, `repro archive`)
+#: near-instant while `from repro import QuantumCombSource` still works.
+_LAZY_EXPORTS = {
+    "QuantumCombSource": "repro.core.source",
+    "hydex_ring_high_q": "repro.core.device",
+    "hydex_ring_type_ii": "repro.core.device",
+    "HeraldedSingleScheme": "repro.core.schemes",
+    "MultiPhotonScheme": "repro.core.schemes",
+    "TimeBinScheme": "repro.core.schemes",
+    "TypeIIScheme": "repro.core.schemes",
+    "EXPERIMENTS": "repro.experiments.registry",
+    "run_experiment": "repro.experiments.registry",
+}
+
+__getattr__ = lazy_exports("repro", globals(), _LAZY_EXPORTS)
 
 __all__ = [
     "EXPERIMENTS",

@@ -1,0 +1,36 @@
+"""Shared PEP 562 lazy-export helper for the package ``__init__`` files.
+
+Several packages (``repro``, ``repro.experiments``, ``repro.utils``,
+``repro.runtime``) defer their numpy-heavy submodule imports so the run
+engine's cache-served CLI path stays import-light.  They all use this
+one factory instead of hand-rolling the ``__getattr__`` hook.
+"""
+
+from __future__ import annotations
+
+import importlib
+from collections.abc import Callable, Mapping
+
+
+def lazy_exports(
+    module_name: str,
+    module_globals: dict[str, object],
+    mapping: Mapping[str, str],
+) -> Callable[[str], object]:
+    """A module-level ``__getattr__`` resolving names from submodules.
+
+    ``mapping`` maps each exported name to the fully qualified module
+    that defines it.  Resolved values are memoised into
+    ``module_globals`` so subsequent lookups bypass the hook.
+    """
+
+    def __getattr__(name: str) -> object:
+        if name in mapping:
+            value = getattr(importlib.import_module(mapping[name]), name)
+            module_globals[name] = value
+            return value
+        raise AttributeError(
+            f"module {module_name!r} has no attribute {name!r}"
+        )
+
+    return __getattr__

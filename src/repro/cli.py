@@ -2,13 +2,21 @@
 
 Subcommands::
 
-    python -m repro list                 # available experiments
-    python -m repro run E2 [--seed N] [--quick] [--full]
-    python -m repro run all --quick      # every experiment
-    python -m repro device               # device presets summary
+    python -m repro list                  # available experiments + params
+    python -m repro device                # device presets summary
+    python -m repro run E2 [--seed N] [--quick] [--set pump_mw=10]
+    python -m repro run all --quick --parallel 4
+    python -m repro report --quick        # paper-vs-measured summary
+    python -m repro sweep E6 --scan pump_mw=2:20:10 --parallel 4
+    python -m repro archive [RUN_ID]      # list / inspect stored runs
 
-The CLI exists so a user can regenerate any paper table without writing
-Python; it prints exactly what the benchmark harness prints.
+``run``, ``report`` and ``sweep`` dispatch through the
+:class:`repro.runtime.engine.RunEngine`: every run is archived as a run
+directory (``--archive-dir``, default ``./repro-runs`` or
+``$REPRO_RUNTIME_ROOT``) and memoised in a content-addressed result
+cache, so repeating an invocation is served from disk near-instantly
+(disable with ``--no-cache``).  Heavy imports happen inside the command
+handlers — a fully cached invocation never imports numpy.
 """
 
 from __future__ import annotations
@@ -17,10 +25,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
-from repro.core.source import QuantumCombSource
-from repro.errors import ReproError
-from repro.experiments.registry import EXPERIMENTS, run_experiment
-from repro.utils.tables import format_table
+from repro.errors import ConfigurationError, ReproError
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,6 +49,7 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument(
         "--quick", action="store_true", help="reduced statistics"
     )
+    _add_engine_options(report_parser)
 
     run_parser = subparsers.add_parser("run", help="run an experiment")
     run_parser.add_argument(
@@ -62,20 +68,146 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="full statistics (the benchmark configuration; default)",
     )
+    run_parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="driver parameter override (repeatable); see 'repro list'",
+    )
+    _add_engine_options(run_parser)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run an experiment once per point of a parameter scan"
+    )
+    sweep_parser.add_argument("experiment", help="experiment id (E1..E9)")
+    sweep_parser.add_argument(
+        "--scan",
+        dest="scans",
+        action="append",
+        required=True,
+        metavar="NAME=LO:HI:N",
+        help=(
+            "scan spec: name=lo:hi:n (linear), name=log:lo:hi:n "
+            "(geometric), or name=a,b,c (explicit); repeat for a grid"
+        ),
+    )
+    sweep_parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    sweep_statistics = sweep_parser.add_mutually_exclusive_group()
+    sweep_statistics.add_argument(
+        "--quick", action="store_true", help="reduced statistics per point"
+    )
+    sweep_statistics.add_argument(
+        "--full", action="store_true", help="full statistics (default)"
+    )
+    sweep_parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="fixed parameter override applied to every point (repeatable)",
+    )
+    _add_engine_options(sweep_parser)
+
+    archive_parser = subparsers.add_parser(
+        "archive", help="list or inspect archived run directories"
+    )
+    archive_parser.add_argument(
+        "run_id",
+        nargs="?",
+        help="run id to inspect (omit to list all archived runs)",
+    )
+    archive_parser.add_argument(
+        "--archive-dir",
+        default=None,
+        help="engine root directory (default $REPRO_RUNTIME_ROOT or ./repro-runs)",
+    )
     return parser
 
 
-def command_list() -> int:
-    """Print the experiment registry."""
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    """Attach the run-engine flags shared by run/report/sweep."""
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for multi-run batches (default 1: serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute instead of serving the content-addressed cache",
+    )
+    parser.add_argument(
+        "--no-archive",
+        action="store_true",
+        help="skip writing run directories",
+    )
+    parser.add_argument(
+        "--archive-dir",
+        default=None,
+        help="engine root directory (default $REPRO_RUNTIME_ROOT or ./repro-runs)",
+    )
+
+
+def _build_engine(args: argparse.Namespace):
+    """A RunEngine configured from the common CLI flags."""
+    from repro.runtime.engine import RunEngine
+
+    return RunEngine(
+        root=args.archive_dir,
+        use_cache=not args.no_cache,
+        archive=not args.no_archive,
+        max_workers=max(1, args.parallel),
+        progress=lambda message: print(message, file=sys.stderr),
+    )
+
+
+def _parse_overrides(pairs: Sequence[str]) -> dict[str, object]:
+    """Parse repeated ``--set name=value`` flags (numbers when possible)."""
+    overrides: dict[str, object] = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        name = name.strip()
+        if not sep or not name or not value.strip():
+            raise ConfigurationError(
+                f"bad --set {pair!r}; expected NAME=VALUE"
+            )
+        text = value.strip()
+        try:
+            number = float(text)
+        except ValueError:
+            overrides[name] = text
+        else:
+            overrides[name] = int(number) if number.is_integer() else number
+    return overrides
+
+
+def command_list(args: argparse.Namespace) -> int:
+    """Print the experiment registry with each driver's override params."""
+    from repro.experiments.registry import EXPERIMENTS, experiment_parameters
+    from repro.utils.tables import format_table
+
     rows = [
-        [key, description] for key, (_, description) in sorted(EXPERIMENTS.items())
+        [key, description, " ".join(sorted(experiment_parameters(key))) or "-"]
+        for key, (_, description) in sorted(EXPERIMENTS.items())
     ]
-    print(format_table(["id", "description"], rows, title="Experiments"))
+    print(
+        format_table(
+            ["id", "description", "overrides"], rows, title="Experiments"
+        )
+    )
     return 0
 
 
-def command_device() -> int:
+def command_device(args: argparse.Namespace) -> int:
     """Print both chip presets."""
+    from repro.core.source import QuantumCombSource
+    from repro.utils.tables import format_table
+
     source = QuantumCombSource.paper_device()
     for name, summary in source.device_summary().items():
         rows = [[key, value] for key, value in summary.items()]
@@ -84,46 +216,190 @@ def command_device() -> int:
     return 0
 
 
-def command_report(seed: int, quick: bool) -> int:
+def command_report(args: argparse.Namespace) -> int:
     """Run every experiment and print the paper-vs-measured table."""
     from repro.experiments.report import generate_report, render_report
 
-    comparisons = generate_report(seed=seed, quick=quick)
+    engine = _build_engine(args)
+    outcomes = engine.run_all(seed=args.seed, quick=args.quick)
+    comparisons = generate_report(
+        seed=args.seed,
+        quick=args.quick,
+        runner=lambda key: outcomes[key].result,
+    )
     print(render_report(comparisons))
     failures = [c for c in comparisons if not c.within_shape]
     return 0 if not failures else 1
 
 
-def command_run(experiment: str, seed: int, quick: bool) -> int:
+def command_run(args: argparse.Namespace) -> int:
     """Run one experiment (or all of them) and print the results."""
-    if experiment.lower() == "all":
-        keys = sorted(EXPERIMENTS)
+    overrides = _parse_overrides(args.overrides)
+    engine = _build_engine(args)
+    if args.experiment.lower() == "all":
+        if overrides:
+            raise ConfigurationError(
+                "--set applies to a single experiment, not 'run all'"
+            )
+        outcomes = list(
+            engine.run_all(seed=args.seed, quick=args.quick).values()
+        )
     else:
-        keys = [experiment]
-    for key in keys:
-        result = run_experiment(key, seed=seed, quick=quick)
-        print(result.to_text())
+        outcomes = [
+            engine.run(
+                args.experiment,
+                seed=args.seed,
+                quick=args.quick,
+                params=overrides,
+            )
+        ]
+    for outcome in outcomes:
+        print(outcome.result.to_text())
         print()
     return 0
+
+
+def command_sweep(args: argparse.Namespace) -> int:
+    """Run an experiment once per scan point and print the sweep table."""
+    from repro.runtime.scan import GridScan, parse_scan
+
+    scans = [parse_scan(spec) for spec in args.scans]
+    scan = scans[0] if len(scans) == 1 else GridScan(*scans)
+    engine = _build_engine(args)
+    outcome = engine.sweep(
+        args.experiment,
+        scan,
+        seed=args.seed,
+        quick=args.quick,
+        base_params=_parse_overrides(args.overrides),
+    )
+    print(_render_sweep(outcome))
+    summary = (
+        f"\n{len(outcome.outcomes)} points ({outcome.num_cached} cached, "
+        f"{outcome.total_duration_s:.2f}s compute)"
+    )
+    if not args.no_archive:
+        summary += f"; archived under {engine.runs_dir}"
+    print(summary)
+    return 0
+
+
+def command_archive(args: argparse.Namespace) -> int:
+    """List archived runs, or print one run's manifest and result."""
+    from repro.runtime.engine import RunEngine
+    from repro.utils.tables import format_table
+
+    engine = RunEngine(root=args.archive_dir)
+    if args.run_id is None:
+        manifests = engine.list_runs()
+        if not manifests:
+            print(f"no archived runs under {engine.runs_dir}")
+            return 0
+        rows = [
+            [
+                m.get("run_id", "?"),
+                m.get("experiment_id", "?"),
+                m.get("seed", "?"),
+                "yes" if m.get("quick") else "no",
+                " ".join(f"{k}={v}" for k, v in sorted(m.get("params", {}).items()))
+                or "-",
+                f"{m.get('duration_s', 0.0):.2f}",
+            ]
+            for m in manifests
+        ]
+        print(
+            format_table(
+                ["run id", "experiment", "seed", "quick", "params", "secs"],
+                rows,
+                title=f"Archived runs ({engine.runs_dir})",
+            )
+        )
+        return 0
+    manifest, result = engine.load_run(args.run_id)
+    if "created_unix" in manifest:
+        import datetime
+
+        manifest["created"] = datetime.datetime.fromtimestamp(
+            manifest.pop("created_unix")
+        ).isoformat(timespec="seconds")
+    rows = [[key, manifest[key]] for key in sorted(manifest)]
+    print(format_table(["field", "value"], rows, title=args.run_id))
+    print()
+    print(result.to_text())
+    return 0
+
+
+def _render_sweep(outcome) -> str:
+    """One table row per sweep point: scan values, status, metrics."""
+    from repro.utils.tables import format_table
+
+    scan_names = list(outcome.points[0]) if outcome.points else []
+    metric_names = sorted(
+        {name for o in outcome.outcomes for name in o.result.metrics}
+        - set(scan_names)  # the scanned value already heads the row
+    )
+    headers = (
+        scan_names
+        + ["cached", "secs"]
+        + metric_names
+    )
+    rows = []
+    for point, run in zip(outcome.points, outcome.outcomes):
+        row: list[object] = [_round(point[name]) for name in scan_names]
+        row.append("yes" if run.cached else "no")
+        row.append(f"{run.duration_s:.2f}")
+        row.extend(
+            _round(run.result.metrics.get(name, "")) for name in metric_names
+        )
+        rows.append(row)
+    title = f"Sweep {outcome.experiment_id}: {outcome.scan_description}"
+    return format_table(headers, rows, title=title)
+
+
+def _round(value: object) -> object:
+    """Round floats for table display; pass everything else through."""
+    if isinstance(value, float):
+        return round(value, 4)
+    return value
+
+
+#: Exhaustive command → handler dispatch used by :func:`main`.
+_COMMANDS = {
+    "list": command_list,
+    "device": command_device,
+    "report": command_report,
+    "run": command_run,
+    "sweep": command_sweep,
+    "archive": command_archive,
+}
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    handler = _COMMANDS.get(args.command)
+    if handler is None:
+        # Unreachable through argparse (unknown subcommands exit earlier)
+        # but keeps a registered-but-unwired command loudly diagnosable.
+        print(
+            f"error: command {args.command!r} has no handler; "
+            f"known commands: {sorted(_COMMANDS)}",
+            file=sys.stderr,
+        )
+        return 2
     try:
-        if args.command == "list":
-            return command_list()
-        if args.command == "device":
-            return command_device()
-        if args.command == "report":
-            return command_report(args.seed, args.quick)
-        if args.command == "run":
-            return command_run(args.experiment, args.seed, args.quick)
+        return handler(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    return 1
+    except BrokenPipeError:
+        # Downstream pager/head closed stdout (e.g. `repro archive | head`);
+        # swap in devnull so interpreter shutdown doesn't re-raise.
+        import os
+
+        sys.stdout = open(os.devnull, "w", encoding="utf-8")
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -1,12 +1,26 @@
 """Experiment drivers: one per quantitative claim of the paper.
 
-Each module exposes ``run(seed=0, quick=False) -> ExperimentResult``; the
+Each module exposes a driver with the uniform signature
+``run(seed=0, quick=False, *, <overrides>) -> ExperimentResult``; the
 registry maps experiment ids (E1..E9) to those drivers.  ``quick=True``
 trades statistics for speed (used by unit tests; benchmarks run the full
 configuration).
+
+The registry import is deferred (PEP 562): importing it pulls in every
+driver and therefore numpy, which the run engine's cache-served path
+must never pay for.
 """
 
+from repro._lazy import lazy_exports
 from repro.experiments.base import ExperimentResult
-from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
 
 __all__ = ["EXPERIMENTS", "ExperimentResult", "get_experiment", "run_experiment"]
+
+#: Names resolved lazily from the registry module.
+_LAZY_EXPORTS = {
+    "EXPERIMENTS": "repro.experiments.registry",
+    "get_experiment": "repro.experiments.registry",
+    "run_experiment": "repro.experiments.registry",
+}
+
+__getattr__ = lazy_exports("repro.experiments", globals(), _LAZY_EXPORTS)

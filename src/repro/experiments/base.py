@@ -5,7 +5,28 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Sequence
 
+from repro.errors import ConfigurationError
 from repro.utils.tables import format_series, format_table
+
+
+def integer_override(experiment_id: str, name: str, value: object) -> int:
+    """Coerce an integer-valued driver override, rejecting fractions.
+
+    Scan points arrive as floats; silently truncating ``2.5`` would run
+    a different configuration than the one recorded in the cache
+    fingerprint and sweep table, so non-integral values are an error.
+    """
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"{experiment_id} {name} must be an integer, got {value!r}"
+        ) from None
+    if not number.is_integer():
+        raise ConfigurationError(
+            f"{experiment_id} {name} must be an integer, got {value!r}"
+        )
+    return int(number)
 
 
 @dataclasses.dataclass

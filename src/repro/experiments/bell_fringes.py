@@ -12,7 +12,8 @@ from __future__ import annotations
 import math
 
 from repro.core.schemes import TimeBinScheme
-from repro.experiments.base import ExperimentResult
+from repro.errors import ConfigurationError
+from repro.experiments.base import ExperimentResult, integer_override
 from repro.quantum.bell import (
     CLASSICAL_BOUND,
     chsh_value,
@@ -30,17 +31,45 @@ PAPER_CLAIM = (
 PAPER_VISIBILITY = 0.83
 
 
-def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
+def run(
+    seed: int = 0,
+    quick: bool = False,
+    *,
+    num_channels: int | None = None,
+    pump_phase_rad: float | None = None,
+    dwell_s: float | None = None,
+) -> ExperimentResult:
     """Scan interference fringes on each channel pair; derive CHSH.
 
     For every channel the fitted fringe visibility V maps to
     S = 2√2·V (Werner-state relation); the Horodecki maximum of the
     simulated state cross-checks the mapping.
+
+    Overrides: ``num_channels`` (1..5) limits the scanned channel pairs,
+    ``pump_phase_rad`` sets the double-pulse pump phase (rotating the
+    generated Bell state), ``dwell_s`` the per-step integration time.
     """
-    scheme = TimeBinScheme()
+    scheme = (
+        TimeBinScheme()
+        if pump_phase_rad is None
+        else TimeBinScheme(pump_phase_rad=float(pump_phase_rad))
+    )
     rng = RandomStream(seed, label="E7")
-    num_channels = 2 if quick else scheme.calibration.num_channel_pairs
-    dwell = 10.0 if quick else scheme.calibration.dwell_time_s
+    if num_channels is None:
+        num_channels = 2 if quick else scheme.calibration.num_channel_pairs
+    else:
+        num_channels = integer_override("E7", "num_channels", num_channels)
+        if not 1 <= num_channels <= scheme.calibration.num_channel_pairs:
+            raise ConfigurationError(
+                f"E7 num_channels must be in "
+                f"1..{scheme.calibration.num_channel_pairs}, got {num_channels}"
+            )
+    if dwell_s is None:
+        dwell = 10.0 if quick else scheme.calibration.dwell_time_s
+    elif dwell_s <= 0:
+        raise ConfigurationError(f"E7 dwell_s must be > 0, got {dwell_s}")
+    else:
+        dwell = float(dwell_s)
 
     state = scheme.pair_state()
     controller = scheme.phase_controller()

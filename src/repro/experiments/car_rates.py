@@ -9,7 +9,9 @@ from __future__ import annotations
 
 from repro.core.schemes import HeraldedSingleScheme
 from repro.detection.coincidence import car_from_tags
+from repro.errors import ConfigurationError
 from repro.experiments.base import ExperimentResult
+from repro.photonics.pump import SelfLockedPump
 from repro.utils.rng import RandomStream
 
 PAPER_CLAIM = (
@@ -22,10 +24,29 @@ PAPER_CAR_BAND = (12.8, 32.4)
 PAPER_RATE_BAND_HZ = (14.0, 29.0)
 
 
-def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
-    """Measure CAR and accidental-subtracted pair rate on each channel."""
-    scheme = HeraldedSingleScheme()
-    duration_s = 20.0 if quick else 120.0
+def run(
+    seed: int = 0,
+    quick: bool = False,
+    *,
+    pump_mw: float | None = None,
+    duration_s: float | None = None,
+) -> ExperimentResult:
+    """Measure CAR and accidental-subtracted pair rate on each channel.
+
+    Overrides: ``pump_mw`` replaces the paper's 15 mW self-locked pump
+    power (pair rate scales quadratically), ``duration_s`` the
+    integration time per channel.
+    """
+    if pump_mw is None:
+        scheme = HeraldedSingleScheme()
+    else:
+        if pump_mw <= 0:
+            raise ConfigurationError(f"E2 pump_mw must be > 0, got {pump_mw}")
+        scheme = HeraldedSingleScheme(pump=SelfLockedPump(power_w=pump_mw * 1e-3))
+    if duration_s is None:
+        duration_s = 20.0 if quick else 120.0
+    elif duration_s <= 0:
+        raise ConfigurationError(f"E2 duration_s must be > 0, got {duration_s}")
     rng = RandomStream(seed, label="E2")
 
     headers = ["channel pair", "coincidences", "CAR", "CAR err", "pair rate [Hz]"]

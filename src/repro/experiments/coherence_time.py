@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.core.schemes import HeraldedSingleScheme
 from repro.detection.tdc import TimeToDigitalConverter
+from repro.errors import ConfigurationError
 from repro.experiments.base import ExperimentResult
 from repro.utils.fitting import fit_coincidence_peak
 from repro.utils.rng import RandomStream
@@ -26,15 +27,25 @@ PAPER_CLAIM = (
 PAPER_LINEWIDTH_HZ = 110e6
 
 
-def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
+def run(
+    seed: int = 0,
+    quick: bool = False,
+    *,
+    duration_s: float | None = None,
+) -> ExperimentResult:
     """Build the signal-idler delay histogram and fit the linewidth.
 
     The fit model is the two-sided exponential (rate Γ = 2π·Δν) convolved
     with the known combined detector jitter — the "considering the time
     jitter" deconvolution the paper performs.
+
+    Overrides: ``duration_s`` sets the histogram integration time.
     """
     scheme = HeraldedSingleScheme()
-    duration_s = 120.0 if quick else 600.0
+    if duration_s is None:
+        duration_s = 120.0 if quick else 600.0
+    elif duration_s <= 0:
+        raise ConfigurationError(f"E3 duration_s must be > 0, got {duration_s}")
     rng = RandomStream(seed, label="E3")
 
     signal, idler = scheme.detected_streams(1, duration_s, rng)

@@ -16,7 +16,8 @@ import numpy as np
 
 from repro.core.schemes import HeraldedSingleScheme
 from repro.detection.coincidence import car_from_tags
-from repro.experiments.base import ExperimentResult
+from repro.errors import ConfigurationError
+from repro.experiments.base import ExperimentResult, integer_override
 from repro.utils.rng import RandomStream
 
 PAPER_CLAIM = (
@@ -25,16 +26,38 @@ PAPER_CLAIM = (
 )
 
 
-def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
+def run(
+    seed: int = 0,
+    quick: bool = False,
+    *,
+    num_channels: int | None = None,
+    duration_s: float | None = None,
+) -> ExperimentResult:
     """Measure the full signal x idler coincidence matrix.
 
     Five independent channel pairs are generated; the detected click
     stream of signal channel m is correlated against the idler stream of
     channel n for all (m, n).
+
+    Overrides: ``num_channels`` (2..5) sets the matrix size,
+    ``duration_s`` the integration time per stream.
     """
     scheme = HeraldedSingleScheme()
-    num_channels = 3 if quick else 5
-    duration_s = 10.0 if quick else 40.0
+    if num_channels is None:
+        num_channels = 3 if quick else 5
+    else:
+        num_channels = integer_override("E1", "num_channels", num_channels)
+        # Lower bound 2: the off-diagonal contrast metrics need at
+        # least one off-diagonal cell.
+        if not 2 <= num_channels <= scheme.calibration.num_channel_pairs:
+            raise ConfigurationError(
+                f"E1 num_channels must be in "
+                f"2..{scheme.calibration.num_channel_pairs}, got {num_channels}"
+            )
+    if duration_s is None:
+        duration_s = 10.0 if quick else 40.0
+    elif duration_s <= 0:
+        raise ConfigurationError(f"E1 duration_s must be > 0, got {duration_s}")
     rng = RandomStream(seed, label="E1")
 
     signal_streams = []

@@ -10,7 +10,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.schemes import MultiPhotonScheme
-from repro.experiments.base import ExperimentResult
+from repro.errors import ConfigurationError
+from repro.experiments.base import ExperimentResult, integer_override
 from repro.timebin.fringes import FringeScan
 from repro.utils.rng import RandomStream
 
@@ -21,21 +22,44 @@ PAPER_CLAIM = (
 PAPER_VISIBILITY = 0.89
 
 
-def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
+def run(
+    seed: int = 0,
+    quick: bool = False,
+    *,
+    dwell_s: float | None = None,
+    num_steps: int | None = None,
+) -> ExperimentResult:
     """Scan the common analyser phase and fit the four-fold fringe.
 
     All four photons traverse analysers at the same phase φ; the four-fold
     coincidence rate follows (1 + cos(2φ))² — oscillating at *twice* the
     scan frequency, the smoking gun of four-photon interference — with the
     visibility set by the multi-pair white noise of the source.
+
+    Overrides: ``dwell_s`` sets the per-step integration time,
+    ``num_steps`` the phase-scan density (>= 16 so the 2x-frequency
+    fringe stays resolvable).
     """
     scheme = MultiPhotonScheme()
     rng = RandomStream(seed, label="E8")
-    # Even quick mode keeps 24 steps: the 2x-frequency fringe plus its
+    if dwell_s is None:
+        dwell = 300.0 if quick else scheme.calibration.dwell_time_s
+    elif dwell_s <= 0:
+        raise ConfigurationError(f"E8 dwell_s must be > 0, got {dwell_s}")
+    else:
+        dwell = float(dwell_s)
+    # Even the default keeps 24 steps: the 2x-frequency fringe plus its
     # second harmonic needs the sampling density or the extrema fit
     # biases the visibility upward.
-    dwell = 300.0 if quick else scheme.calibration.dwell_time_s
-    num_steps = 24
+    if num_steps is None:
+        num_steps = 24
+    else:
+        num_steps = integer_override("E8", "num_steps", num_steps)
+        if num_steps < 16:
+            raise ConfigurationError(
+                f"E8 num_steps must be >= 16 to resolve the fringe, "
+                f"got {num_steps}"
+            )
 
     state = scheme.four_photon_state()
     scan = FringeScan(

@@ -11,7 +11,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.schemes import TypeIIScheme
-from repro.experiments.base import ExperimentResult
+from repro.errors import ConfigurationError
+from repro.experiments.base import ExperimentResult, integer_override
 from repro.utils.fitting import fit_power_law
 from repro.utils.rng import RandomStream
 
@@ -23,18 +24,46 @@ PAPER_CLAIM = (
 PAPER_THRESHOLD_W = 14e-3
 
 
-def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
+def run(
+    seed: int = 0,
+    quick: bool = False,
+    *,
+    pump_mw: float | None = None,
+    max_pump_mw: float | None = None,
+    num_points: int | None = None,
+) -> ExperimentResult:
     """Sweep total pump power across the threshold and fit both regimes.
 
     Measurement noise: each power point carries 3 % relative detection
     noise (power-meter calibration), which the regime fits must tolerate.
+
+    Overrides: ``pump_mw`` adds a single operating point to the result
+    (``output_at_pump_uw``/``above_threshold`` metrics) so sweeping it
+    reconstructs the transfer curve point by point; ``max_pump_mw`` sets
+    the sweep ceiling and ``num_points`` the sweep density.
     """
     scheme = TypeIIScheme()
     oscillator = scheme.oscillator()
     rng = RandomStream(seed, label="E6")
 
-    num_points = 15 if quick else 30
-    powers = np.linspace(1e-3, 30e-3, num_points)
+    if pump_mw is not None and pump_mw <= 0:
+        raise ConfigurationError(f"E6 pump_mw must be > 0, got {pump_mw}")
+    if num_points is None:
+        num_points = 15 if quick else 30
+    else:
+        num_points = integer_override("E6", "num_points", num_points)
+    if num_points < 8:
+        raise ConfigurationError(
+            f"E6 needs num_points >= 8 to fit both regimes, got {num_points}"
+        )
+    ceiling_w = 30e-3 if max_pump_mw is None else max_pump_mw * 1e-3
+    if ceiling_w <= 1.5 * oscillator.threshold_power_w:
+        raise ConfigurationError(
+            "E6 max_pump_mw must exceed 1.5x the OPO threshold "
+            f"({oscillator.threshold_power_w * 1.5e3:.1f} mW) so the linear "
+            f"regime is sampled; got {ceiling_w * 1e3:.1f} mW"
+        )
+    powers = np.linspace(1e-3, ceiling_w, num_points)
     outputs = oscillator.output_power_w(powers)
     noisy_outputs = outputs * (1.0 + rng.normal(0.0, 0.03, powers.size))
 
@@ -63,6 +92,16 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
         "paper_threshold_mw": PAPER_THRESHOLD_W * 1e3,
         "linear_fit_relative_rms": float(linear_residual),
     }
+    if pump_mw is not None:
+        # Single operating point: the noiseless transfer curve evaluated
+        # at the requested pump, so a sweep over pump_mw reconstructs the
+        # quadratic-to-linear shape one run at a time.
+        pump_w = pump_mw * 1e-3
+        output_w = float(oscillator.output_power_w(pump_w))
+        metrics["pump_mw"] = float(pump_mw)
+        metrics["output_at_pump_uw"] = output_w * 1e6
+        metrics["above_threshold"] = float(pump_w >= oscillator.threshold_power_w)
+        rows.append([round(pump_mw, 2), round(output_w * 1e6, 4)])
     return ExperimentResult(
         experiment_id="E6",
         title="OPO transfer curve: quadratic to linear at threshold",

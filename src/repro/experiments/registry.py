@@ -1,8 +1,17 @@
-"""Registry mapping experiment ids to their drivers."""
+"""Registry mapping experiment ids to their drivers.
+
+Every driver shares the uniform signature
+``run(seed=0, quick=False, *, <overrides>)``: the keyword-only tail
+names the physical parameters that run accepts as overrides (pump
+power, integration time, shot counts, ...).  The registry introspects
+that tail so callers — the CLI, the run engine's sweeps — can validate
+parameter names up front and report what a driver supports.
+"""
 
 from __future__ import annotations
 
-from collections.abc import Callable
+import inspect
+from collections.abc import Callable, Mapping
 
 from repro.errors import ConfigurationError
 from repro.experiments import (
@@ -43,11 +52,54 @@ def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
     return EXPERIMENTS[key][0]
 
 
+def experiment_parameters(experiment_id: str) -> dict[str, object]:
+    """The override parameters a driver accepts (name → default).
+
+    Overrides are the keyword-only parameters of the driver's uniform
+    ``run(seed=0, quick=False, *, ...)`` signature.
+    """
+    driver = get_experiment(experiment_id)
+    signature = inspect.signature(driver)
+    return {
+        name: parameter.default
+        for name, parameter in signature.parameters.items()
+        if parameter.kind is inspect.Parameter.KEYWORD_ONLY
+    }
+
+
 def run_experiment(
-    experiment_id: str, seed: int = 0, quick: bool = False
+    experiment_id: str,
+    seed: int = 0,
+    quick: bool = False,
+    params: Mapping[str, object] | None = None,
 ) -> ExperimentResult:
-    """Run one experiment by id."""
-    return get_experiment(experiment_id)(seed=seed, quick=quick)
+    """Run one experiment by id, with optional parameter overrides.
+
+    ``params`` keys are validated against the driver's keyword-only
+    signature so a typo'd override fails with the supported names
+    instead of a bare TypeError.
+    """
+    driver = get_experiment(experiment_id)
+    overrides = dict(params or {})
+    if not overrides:
+        return driver(seed=seed, quick=quick)
+    supported = experiment_parameters(experiment_id)
+    unknown = sorted(set(overrides) - set(supported))
+    if unknown:
+        raise ConfigurationError(
+            f"{experiment_id.upper()} does not accept parameter(s) "
+            f"{unknown}; supported: {sorted(supported)}"
+        )
+    try:
+        return driver(seed=seed, quick=quick, **overrides)
+    except TypeError as error:
+        # A non-numeric override (e.g. --set pump_mw=abc) surfaces as a
+        # TypeError deep in the driver; report it as a configuration
+        # problem with the offending values instead of a traceback.
+        raise ConfigurationError(
+            f"{experiment_id.upper()} rejected parameter values "
+            f"{overrides}: {error}"
+        ) from error
 
 
 def run_all(seed: int = 0, quick: bool = True) -> dict[str, ExperimentResult]:

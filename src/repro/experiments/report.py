@@ -9,6 +9,7 @@ so the documentation can always be regenerated from code:
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Callable
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.registry import EXPERIMENTS
@@ -123,12 +124,23 @@ def _summarise(key: str, result: ExperimentResult) -> list[ClaimComparison]:
     raise KeyError(f"no summary mapping for experiment {key!r}")
 
 
-def generate_report(seed: int = 0, quick: bool = True) -> list[ClaimComparison]:
-    """Run all experiments and compare each claim."""
+def generate_report(
+    seed: int = 0,
+    quick: bool = True,
+    runner: Callable[[str], ExperimentResult] | None = None,
+) -> list[ClaimComparison]:
+    """Run all experiments and compare each claim.
+
+    ``runner`` maps an experiment id to its result; the default calls
+    each driver directly.  The CLI passes a
+    :class:`repro.runtime.engine.RunEngine`-backed runner so reports are
+    cached and parallelisable.
+    """
+    if runner is None:
+        runner = lambda key: EXPERIMENTS[key][0](seed=seed, quick=quick)  # noqa: E731
     comparisons: list[ClaimComparison] = []
-    for key, (driver, _) in sorted(EXPERIMENTS.items()):
-        result = driver(seed=seed, quick=quick)
-        comparisons.extend(_summarise(key, result))
+    for key in sorted(EXPERIMENTS):
+        comparisons.extend(_summarise(key, runner(key)))
     return comparisons
 
 

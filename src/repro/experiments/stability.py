@@ -9,6 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.schemes import HeraldedSingleScheme
+from repro.errors import ConfigurationError
 from repro.experiments.base import ExperimentResult
 from repro.utils.rng import RandomStream
 from repro.utils.stats import coefficient_of_variation, relative_fluctuation
@@ -21,8 +22,17 @@ PAPER_CLAIM = (
 PAPER_FLUCTUATION_BOUND = 0.05
 
 
-def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
+def run(
+    seed: int = 0,
+    quick: bool = False,
+    *,
+    duration_days: float | None = None,
+    sample_interval_s: float | None = None,
+) -> ExperimentResult:
     """Simulate weeks of operation and check the fluctuation bound.
+
+    Overrides: ``duration_days`` sets the simulated span,
+    ``sample_interval_s`` the binning interval (default hourly).
 
     The self-locked pump's power drift (mean-reverting, because the laser
     cavity is closed through the ring) modulates the detected pair rate
@@ -31,8 +41,18 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
     reversion (a free random walk) is also evolved.
     """
     scheme = HeraldedSingleScheme()
-    duration_days = 7.0 if quick else 30.0
-    sample_interval_s = 3600.0
+    if duration_days is None:
+        duration_days = 7.0 if quick else 30.0
+    elif duration_days <= 0:
+        raise ConfigurationError(
+            f"E4 duration_days must be > 0, got {duration_days}"
+        )
+    if sample_interval_s is None:
+        sample_interval_s = 3600.0
+    elif sample_interval_s <= 0:
+        raise ConfigurationError(
+            f"E4 sample_interval_s must be > 0, got {sample_interval_s}"
+        )
     duration_s = duration_days * 86400.0
     rng = RandomStream(seed, label="E4")
 

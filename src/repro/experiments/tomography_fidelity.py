@@ -19,7 +19,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.schemes import MultiPhotonScheme, TimeBinScheme
-from repro.experiments.base import ExperimentResult
+from repro.errors import ConfigurationError
+from repro.experiments.base import ExperimentResult, integer_override
 from repro.quantum import hilbert
 from repro.quantum.entanglement import concurrence, log_negativity
 from repro.quantum.measurement import sample_outcomes
@@ -80,14 +81,35 @@ def simulate_counts_with_phase_errors(
     return counts
 
 
-def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
-    """Tomograph the Bell pair and the four-photon state."""
+def run(
+    seed: int = 0,
+    quick: bool = False,
+    *,
+    bell_shots: int | None = None,
+    four_shots: int | None = None,
+) -> ExperimentResult:
+    """Tomograph the Bell pair and the four-photon state.
+
+    Overrides: ``bell_shots``/``four_shots`` set the per-setting shot
+    counts of the two reconstructions (9 and 81 settings respectively).
+    """
     rng = RandomStream(seed, label="E9")
     time_bin = TimeBinScheme()
     multi = MultiPhotonScheme()
 
+    if bell_shots is not None:
+        bell_shots = integer_override("E9", "bell_shots", bell_shots)
+    if four_shots is not None:
+        four_shots = integer_override("E9", "four_shots", four_shots)
+    for name, value in (("bell_shots", bell_shots), ("four_shots", four_shots)):
+        if value is not None and value < 1:
+            raise ConfigurationError(f"E9 {name} must be >= 1, got {value}")
+
     # --- Two-photon (Bell) tomography -------------------------------
-    bell_shots = 400 if quick else multi.calibration.bell_tomography_shots_per_setting
+    if bell_shots is None:
+        bell_shots = (
+            400 if quick else multi.calibration.bell_tomography_shots_per_setting
+        )
     bell_counts = simulate_counts_with_phase_errors(
         time_bin.pair_state(),
         bell_shots,
@@ -100,7 +122,8 @@ def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
     bell_concurrence = concurrence(bell_result.state)
 
     # --- Four-photon tomography --------------------------------------
-    four_shots = 40 if quick else multi.calibration.tomography_shots_per_setting
+    if four_shots is None:
+        four_shots = 40 if quick else multi.calibration.tomography_shots_per_setting
     four_counts = simulate_counts_with_phase_errors(
         multi.four_photon_state(),
         four_shots,

@@ -8,8 +8,11 @@ orthogonally polarized photon pairs", with the stimulated FWM process
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.core.schemes import TypeIIScheme
 from repro.detection.coincidence import car_from_tags, coincidence_histogram
+from repro.errors import ConfigurationError
 from repro.experiments.base import ExperimentResult
 from repro.utils.rng import RandomStream
 
@@ -21,10 +24,36 @@ PAPER_CLAIM = (
 PAPER_CAR = 10.0
 
 
-def run(seed: int = 0, quick: bool = False) -> ExperimentResult:
-    """Correlate the two PBS output ports of the type-II source."""
+def run(
+    seed: int = 0,
+    quick: bool = False,
+    *,
+    pump_mw: float | None = None,
+    duration_s: float | None = None,
+) -> ExperimentResult:
+    """Correlate the two PBS output ports of the type-II source.
+
+    Overrides: ``pump_mw`` rescales the total dual-polarization pump
+    (TE/TM ratio preserved), ``duration_s`` the correlation time.
+    """
     scheme = TypeIIScheme()
-    duration_s = 30.0 if quick else 120.0
+    if pump_mw is not None:
+        if pump_mw <= 0:
+            raise ConfigurationError(f"E5 pump_mw must be > 0, got {pump_mw}")
+        total_w = scheme.calibration.pump_te_w + scheme.calibration.pump_tm_w
+        factor = pump_mw * 1e-3 / total_w
+        scheme = dataclasses.replace(
+            scheme,
+            calibration=dataclasses.replace(
+                scheme.calibration,
+                pump_te_w=scheme.calibration.pump_te_w * factor,
+                pump_tm_w=scheme.calibration.pump_tm_w * factor,
+            ),
+        )
+    if duration_s is None:
+        duration_s = 30.0 if quick else 120.0
+    elif duration_s <= 0:
+        raise ConfigurationError(f"E5 duration_s must be > 0, got {duration_s}")
     rng = RandomStream(seed, label="E5")
 
     te_clicks, tm_clicks = scheme.detected_streams(duration_s, rng)

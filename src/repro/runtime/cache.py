@@ -1,0 +1,128 @@
+"""Content-addressed memoisation of experiment results.
+
+A cache entry is keyed by the SHA-256 fingerprint of the run
+configuration — experiment id, seed, statistics mode, every parameter
+override, plus the package version — so within one release a hit is
+the result the same run would recompute.  Driver changes that alter
+results must ship with a version (or ``CACHE_SCHEMA``) bump, otherwise
+stale entries survive; ``repro run --no-cache`` forces recomputation.
+Entries are the JSON records of :mod:`repro.runtime.records`, one file
+per fingerprint, written atomically so concurrent writers can never
+corrupt an entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from collections.abc import Mapping
+
+from repro.experiments.base import ExperimentResult
+from repro.runtime import records
+from repro.runtime.records import jsonify
+
+#: Bump when the fingerprint payload or entry layout changes.
+CACHE_SCHEMA = 1
+
+
+def fingerprint(
+    experiment_id: str,
+    seed: int,
+    quick: bool,
+    params: Mapping[str, object] | None = None,
+) -> str:
+    """The content-address of one run configuration (hex SHA-256)."""
+    import repro
+
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "version": repro.__version__,
+        "experiment": experiment_id.upper(),
+        "seed": int(seed),
+        "quick": bool(quick),
+        "params": {
+            str(k): _canonical_value(v) for k, v in (params or {}).items()
+        },
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _canonical_value(value: object) -> object:
+    """Canonicalise one override for fingerprinting.
+
+    Integral and float forms of the same number (``10`` from
+    ``--set pump_mw=10``, ``10.0`` from a scan point) must address the
+    same cache entry, so non-bool numbers fold to float.
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return float(value)
+    return jsonify(value)
+
+
+class ResultCache:
+    """A directory of fingerprint-addressed result records."""
+
+    def __init__(self, root: str | pathlib.Path) -> None:
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """The entry file for a fingerprint."""
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> ExperimentResult | None:
+        """The cached result for a fingerprint, or None on a miss.
+
+        Unreadable or truncated entries count as misses — the caller
+        recomputes and overwrites them.
+        """
+        path = self.path_for(key)
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+            result = records.from_record(entry["record"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(
+        self,
+        key: str,
+        result: ExperimentResult,
+        duration_s: float | None = None,
+    ) -> pathlib.Path:
+        """Store a result under a fingerprint (atomic rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "fingerprint": key,
+            "duration_s": duration_s,
+            "record": records.to_record(result),
+        }
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        tmp.write_text(json.dumps(entry, sort_keys=True), encoding="utf-8")
+        tmp.replace(path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.root.exists():
+            for path in self.root.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        """Number of stored entries."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))

@@ -1,0 +1,138 @@
+"""Named datasets with ARTIQ-style ``set_dataset``/``get_dataset`` semantics.
+
+A :class:`DatasetStore` is the mutable key→value map a run produces;
+values marked ``archive=True`` (the default) persist under the run
+directory: JSON-native values go to ``datasets.json``, array-likes to
+``arrays.npz``.  Numpy is imported lazily so the store itself stays
+usable on the CLI's no-numpy fast path.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections.abc import Iterator
+
+from repro.errors import ConfigurationError
+from repro.experiments.base import ExperimentResult
+from repro.runtime.records import jsonify
+
+#: File names used inside a run directory.
+DATASETS_FILE = "datasets.json"
+ARRAYS_FILE = "arrays.npz"
+
+_MISSING = object()
+
+
+class DatasetStore:
+    """An in-memory map of named run products, archivable to disk."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, object] = {}
+        self._archived: dict[str, bool] = {}
+
+    def set_dataset(self, key: str, value: object, archive: bool = True) -> None:
+        """Bind ``key`` to ``value``; ``archive=False`` keeps it transient."""
+        if not key:
+            raise ConfigurationError("dataset key must be non-empty")
+        self._data[key] = value
+        self._archived[key] = bool(archive)
+
+    def get_dataset(self, key: str, default: object = _MISSING) -> object:
+        """The value bound to ``key`` (KeyError with context if missing)."""
+        if key in self._data:
+            return self._data[key]
+        if default is not _MISSING:
+            return default
+        raise KeyError(
+            f"no dataset {key!r}; available: {sorted(self._data)}"
+        )
+
+    def keys(self) -> list[str]:
+        """All dataset keys, sorted."""
+        return sorted(self._data)
+
+    def items(self) -> Iterator[tuple[str, object]]:
+        """Iterate ``(key, value)`` pairs in key order."""
+        for key in self.keys():
+            yield key, self._data[key]
+
+    def __contains__(self, key: str) -> bool:
+        """Whether ``key`` is bound."""
+        return key in self._data
+
+    def __len__(self) -> int:
+        """Number of bound datasets."""
+        return len(self._data)
+
+    def save(self, directory: str | pathlib.Path) -> pathlib.Path:
+        """Archive every ``archive=True`` dataset under ``directory``.
+
+        Array-likes (anything with a ``shape`` of rank >= 1) are stacked
+        into a single ``arrays.npz``; everything else is canonicalised to
+        JSON in ``datasets.json``.
+        """
+        directory = pathlib.Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        plain: dict[str, object] = {}
+        arrays: dict[str, object] = {}
+        for key, value in self.items():
+            if not self._archived.get(key, True):
+                continue
+            if _is_array(value):
+                arrays[key] = value
+            else:
+                plain[key] = jsonify(value)
+        (directory / DATASETS_FILE).write_text(
+            json.dumps(plain, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        if arrays:
+            import numpy as np
+
+            np.savez_compressed(directory / ARRAYS_FILE, **arrays)
+        return directory
+
+    @classmethod
+    def load(cls, directory: str | pathlib.Path) -> "DatasetStore":
+        """Rebuild a store from a run directory written by :meth:`save`."""
+        directory = pathlib.Path(directory)
+        store = cls()
+        plain_path = directory / DATASETS_FILE
+        if plain_path.exists():
+            for key, value in json.loads(
+                plain_path.read_text(encoding="utf-8")
+            ).items():
+                store.set_dataset(key, value)
+        arrays_path = directory / ARRAYS_FILE
+        if arrays_path.exists():
+            import numpy as np
+
+            with np.load(arrays_path) as archive:
+                for key in archive.files:
+                    store.set_dataset(key, archive[key])
+        return store
+
+
+def store_from_result(result: ExperimentResult) -> DatasetStore:
+    """Explode an :class:`ExperimentResult` into named datasets.
+
+    Layout: ``table/headers`` and ``table/rows`` hold the regenerated
+    table, each scalar metric lands at ``metrics/<name>``, and every
+    series becomes an x/y array pair at ``series/<label>/{x,y}``.
+    """
+    import numpy as np
+
+    store = DatasetStore()
+    store.set_dataset("table/headers", list(result.headers))
+    store.set_dataset("table/rows", [list(row) for row in result.rows])
+    for name, value in result.metrics.items():
+        store.set_dataset(f"metrics/{name}", value)
+    for label, x, y in result.series:
+        store.set_dataset(f"series/{label}/x", np.asarray(x, dtype=float))
+        store.set_dataset(f"series/{label}/y", np.asarray(y, dtype=float))
+    return store
+
+
+def _is_array(value: object) -> bool:
+    """Whether a value should archive as a numpy array (rank >= 1)."""
+    return hasattr(value, "shape") and getattr(value, "ndim", 0) >= 1

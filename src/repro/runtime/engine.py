@@ -1,0 +1,412 @@
+"""The run engine: scheduling, archiving, caching, parallel sweeps.
+
+ARTIQ's master pairs a scheduler with a dataset store; this engine is
+the equivalent for the offline reproduction.  Every run is described by
+an immutable :class:`RunSpec`, content-addressed through
+:mod:`repro.runtime.cache`, archived as a self-contained run directory
+(manifest + result record + datasets), and — when a worker pool is
+requested — executed across processes with `concurrent.futures`.
+
+Run-directory layout under the engine root (default ``./repro-runs`` or
+``$REPRO_RUNTIME_ROOT``)::
+
+    <root>/cache/<fingerprint>.json     memoised result records
+    <root>/runs/<run_id>/manifest.json  spec, timing, fingerprint
+    <root>/runs/<run_id>/result.json    lossless ExperimentResult record
+    <root>/runs/<run_id>/datasets.json  JSON-native named datasets
+    <root>/runs/<run_id>/arrays.npz     array-valued named datasets
+
+Experiment drivers are imported lazily: a fully cached invocation never
+imports numpy or the experiments package, which keeps repeated
+``repro sweep``/``repro report`` calls near-instant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import time
+from collections.abc import Callable, Mapping
+
+from repro.errors import ConfigurationError
+from repro.experiments.base import ExperimentResult
+from repro.runtime import records
+from repro.runtime.cache import ResultCache, fingerprint
+from repro.runtime.records import jsonify
+from repro.runtime.scan import Scan
+
+#: Environment variable overriding the default engine root directory.
+ROOT_ENV_VAR = "REPRO_RUNTIME_ROOT"
+
+#: File names inside a run directory.
+MANIFEST_FILE = "manifest.json"
+RESULT_FILE = "result.json"
+
+
+def default_root() -> pathlib.Path:
+    """The engine root: ``$REPRO_RUNTIME_ROOT`` or ``./repro-runs``."""
+    env = os.environ.get(ROOT_ENV_VAR)
+    return pathlib.Path(env) if env else pathlib.Path("repro-runs")
+
+
+@dataclasses.dataclass(frozen=True)
+class RunSpec:
+    """An immutable description of one experiment run.
+
+    ``params`` is stored as a sorted tuple of items so specs are
+    hashable and two specs with the same overrides compare equal
+    regardless of insertion order.
+    """
+
+    experiment_id: str
+    seed: int = 0
+    quick: bool = False
+    params: tuple[tuple[str, object], ...] = ()
+
+    @staticmethod
+    def make(
+        experiment_id: str,
+        seed: int = 0,
+        quick: bool = False,
+        params: Mapping[str, object] | None = None,
+    ) -> "RunSpec":
+        """Normalised constructor (uppercase id, sorted params)."""
+        items = tuple(sorted((params or {}).items()))
+        return RunSpec(experiment_id.upper(), int(seed), bool(quick), items)
+
+    def params_dict(self) -> dict[str, object]:
+        """The parameter overrides as a plain dict."""
+        return dict(self.params)
+
+    def fingerprint(self) -> str:
+        """Content-address of this spec (see :mod:`repro.runtime.cache`)."""
+        return fingerprint(
+            self.experiment_id, self.seed, self.quick, self.params_dict()
+        )
+
+    def run_id(self) -> str:
+        """Stable, human-scannable id for this spec's run directory."""
+        return f"{self.experiment_id}-{self.fingerprint()[:12]}"
+
+    def label(self) -> str:
+        """One-line description used in progress messages."""
+        parts = [self.experiment_id, f"seed={self.seed}"]
+        if self.quick:
+            parts.append("quick")
+        parts.extend(f"{k}={v}" for k, v in self.params)
+        return " ".join(parts)
+
+
+@dataclasses.dataclass
+class RunOutcome:
+    """One completed (or cache-served) run."""
+
+    spec: RunSpec
+    result: ExperimentResult
+    cached: bool
+    duration_s: float
+    run_id: str
+    run_dir: pathlib.Path | None
+
+
+@dataclasses.dataclass
+class SweepOutcome:
+    """All runs of one parameter sweep, in scan order."""
+
+    experiment_id: str
+    scan_description: dict[str, object]
+    points: list[dict[str, object]]
+    outcomes: list[RunOutcome]
+
+    @property
+    def num_cached(self) -> int:
+        """How many points were served from the result cache."""
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def total_duration_s(self) -> float:
+        """Summed per-point compute/lookup time."""
+        return sum(o.duration_s for o in self.outcomes)
+
+    def metric_series(self, name: str) -> tuple[list[dict[str, object]], list[float]]:
+        """(points, values) for one metric across the sweep."""
+        values = [o.result.metric(name) for o in self.outcomes]
+        return self.points, values
+
+
+def _execute(spec: RunSpec) -> tuple[dict[str, object], float]:
+    """Run one spec and return its (record, duration).
+
+    Module-level so it pickles into `concurrent.futures` workers; the
+    registry import happens here so cached paths never pay for it.
+    """
+    from repro.experiments.registry import run_experiment
+
+    start = time.perf_counter()
+    result = run_experiment(
+        spec.experiment_id,
+        seed=spec.seed,
+        quick=spec.quick,
+        params=spec.params_dict(),
+    )
+    return records.to_record(result), time.perf_counter() - start
+
+
+class RunEngine:
+    """Schedules experiment runs with caching, archiving and parallelism.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the cache and run archive (default: see
+        :func:`default_root`).
+    use_cache:
+        Serve repeated specs from the content-addressed result cache.
+    archive:
+        Persist each run's datasets/result/manifest under ``runs/``.
+    max_workers:
+        Worker processes for multi-spec batches (1 = in-process serial).
+    progress:
+        Optional ``callable(message: str)`` receiving one line per
+        completed run.
+    """
+
+    def __init__(
+        self,
+        root: str | pathlib.Path | None = None,
+        use_cache: bool = True,
+        archive: bool = True,
+        max_workers: int = 1,
+        progress: Callable[[str], None] | None = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self.root = pathlib.Path(root) if root is not None else default_root()
+        self.runs_dir = self.root / "runs"
+        self.cache: ResultCache | None = (
+            ResultCache(self.root / "cache") if use_cache else None
+        )
+        self.archive = archive
+        self.max_workers = max_workers
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        experiment_id: str,
+        seed: int = 0,
+        quick: bool = False,
+        params: Mapping[str, object] | None = None,
+    ) -> RunOutcome:
+        """Run (or recall) a single experiment."""
+        spec = RunSpec.make(experiment_id, seed=seed, quick=quick, params=params)
+        return self.run_specs([spec])[0]
+
+    def run_specs(self, specs: list[RunSpec]) -> list[RunOutcome]:
+        """Run a batch of specs, serving cache hits and pooling misses.
+
+        Results come back in input order; misses execute across the
+        worker pool when ``max_workers > 1``.
+        """
+        outcomes: list[RunOutcome | None] = [None] * len(specs)
+        pending: list[int] = []
+        done = 0
+        for index, spec in enumerate(specs):
+            hit = self._lookup(spec)
+            if hit is not None:
+                outcomes[index] = hit
+                done += 1
+                self._report(done, len(specs), hit)
+            else:
+                pending.append(index)
+
+        if pending and self.max_workers > 1 and len(pending) > 1:
+            from concurrent.futures import ProcessPoolExecutor, as_completed
+
+            # Load the driver stack once in the parent so forked workers
+            # inherit it instead of each paying the numpy import.
+            import repro.experiments.registry  # noqa: F401
+
+            workers = min(self.max_workers, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_execute, specs[index]): index
+                    for index in pending
+                }
+                for future in as_completed(futures):
+                    index = futures[future]
+                    record, duration = future.result()
+                    outcome = self._complete(specs[index], record, duration)
+                    outcomes[index] = outcome
+                    done += 1
+                    self._report(done, len(specs), outcome)
+        else:
+            for index in pending:
+                record, duration = _execute(specs[index])
+                outcome = self._complete(specs[index], record, duration)
+                outcomes[index] = outcome
+                done += 1
+                self._report(done, len(specs), outcome)
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def sweep(
+        self,
+        experiment_id: str,
+        scan: Scan,
+        seed: int = 0,
+        quick: bool = False,
+        base_params: Mapping[str, object] | None = None,
+    ) -> SweepOutcome:
+        """Run an experiment once per scan point.
+
+        ``base_params`` are fixed overrides applied to every point; scan
+        values win on collision.
+        """
+        points = list(scan)
+        specs = []
+        for point in points:
+            merged = dict(base_params or {})
+            merged.update(point)
+            specs.append(
+                RunSpec.make(experiment_id, seed=seed, quick=quick, params=merged)
+            )
+        outcomes = self.run_specs(specs)
+        return SweepOutcome(
+            experiment_id=experiment_id.upper(),
+            scan_description=scan.describe(),
+            points=points,
+            outcomes=outcomes,
+        )
+
+    def run_all(self, seed: int = 0, quick: bool = True) -> dict[str, RunOutcome]:
+        """Run every registered experiment; returns id → outcome."""
+        from repro.experiments.registry import EXPERIMENTS
+
+        keys = sorted(EXPERIMENTS)
+        specs = [RunSpec.make(key, seed=seed, quick=quick) for key in keys]
+        outcomes = self.run_specs(specs)
+        return dict(zip(keys, outcomes))
+
+    # ------------------------------------------------------------------
+    # Archive
+    # ------------------------------------------------------------------
+    def list_runs(self) -> list[dict[str, object]]:
+        """Manifests of every archived run, newest first."""
+        manifests = []
+        if self.runs_dir.exists():
+            for path in self.runs_dir.glob(f"*/{MANIFEST_FILE}"):
+                try:
+                    manifest = json.loads(path.read_text(encoding="utf-8"))
+                except (OSError, ValueError):
+                    continue
+                manifests.append(manifest)
+        manifests.sort(key=lambda m: m.get("created_unix", 0.0), reverse=True)
+        return manifests
+
+    def load_run(
+        self, run_id: str
+    ) -> tuple[dict[str, object], ExperimentResult]:
+        """(manifest, result) for one archived run id."""
+        run_dir = self.runs_dir / run_id
+        manifest_path = run_dir / MANIFEST_FILE
+        if not manifest_path.exists():
+            known = sorted(m.get("run_id", "?") for m in self.list_runs())
+            raise ConfigurationError(
+                f"no archived run {run_id!r}; available: {known}"
+            )
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+            result = records.load(run_dir / RESULT_FILE)
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            raise ConfigurationError(
+                f"archived run {run_id!r} is unreadable "
+                f"(corrupt or written by an incompatible version): {error}"
+            ) from error
+        return manifest, result
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _lookup(self, spec: RunSpec) -> RunOutcome | None:
+        """A cache-served outcome for ``spec``, or None on a miss."""
+        if self.cache is None:
+            return None
+        start = time.perf_counter()
+        key = spec.fingerprint()
+        result = self.cache.get(key)
+        if result is None:
+            return None
+        run_id = spec.run_id()
+        run_dir = self.runs_dir / run_id
+        if not run_dir.exists() and self.archive:
+            self._archive(spec, result, duration_s=0.0, cached=True)
+        return RunOutcome(
+            spec=spec,
+            result=result,
+            cached=True,
+            duration_s=time.perf_counter() - start,
+            run_id=run_id,
+            run_dir=run_dir if run_dir.exists() else None,
+        )
+
+    def _complete(
+        self, spec: RunSpec, record: dict[str, object], duration_s: float
+    ) -> RunOutcome:
+        """Archive and cache one freshly computed run record."""
+        result = records.from_record(record)
+        run_dir: pathlib.Path | None = None
+        if self.archive:
+            run_dir = self._archive(spec, result, duration_s, cached=False)
+        if self.cache is not None:
+            self.cache.put(spec.fingerprint(), result, duration_s)
+        return RunOutcome(
+            spec=spec,
+            result=result,
+            cached=False,
+            duration_s=duration_s,
+            run_id=spec.run_id(),
+            run_dir=run_dir,
+        )
+
+    def _archive(
+        self,
+        spec: RunSpec,
+        result: ExperimentResult,
+        duration_s: float,
+        cached: bool,
+    ) -> pathlib.Path:
+        """Write the run directory (manifest, result record, datasets)."""
+        from repro.runtime.datasets import store_from_result
+
+        run_dir = self.runs_dir / spec.run_id()
+        run_dir.mkdir(parents=True, exist_ok=True)
+        records.save(result, run_dir / RESULT_FILE)
+        store_from_result(result).save(run_dir)
+        manifest = {
+            "run_id": spec.run_id(),
+            "fingerprint": spec.fingerprint(),
+            "experiment_id": spec.experiment_id,
+            "seed": spec.seed,
+            "quick": spec.quick,
+            "params": {k: jsonify(v) for k, v in spec.params},
+            "duration_s": duration_s,
+            "from_cache": cached,
+            "created_unix": time.time(),
+        }
+        (run_dir / MANIFEST_FILE).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        return run_dir
+
+    def _report(self, done: int, total: int, outcome: RunOutcome) -> None:
+        """Emit one progress line through the configured callback."""
+        if self.progress is None:
+            return
+        status = "cached" if outcome.cached else f"{outcome.duration_s:.2f}s"
+        self.progress(f"[{done}/{total}] {outcome.spec.label()} ({status})")

@@ -1,0 +1,106 @@
+"""Lossless ``ExperimentResult`` ⇄ JSON round-trip.
+
+Every value that reaches a record is canonicalised to JSON-native types
+(numpy scalars via ``item()``, arrays via ``tolist()``), so a result that
+went to disk and came back compares equal record-to-record.  The module
+deliberately avoids importing numpy: the CLI's cached fast path loads
+archived results without paying the numpy import.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.experiments.base import ExperimentResult
+
+#: Bump when the record layout changes; readers reject newer schemas.
+SCHEMA_VERSION = 1
+
+
+def to_record(result: ExperimentResult) -> dict[str, object]:
+    """Canonical JSON-native dict for an :class:`ExperimentResult`."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "paper_claim": result.paper_claim,
+        "headers": [str(h) for h in result.headers],
+        "rows": [[jsonify(cell) for cell in row] for row in result.rows],
+        "metrics": {
+            str(k): jsonify(v) for k, v in sorted(result.metrics.items())
+        },
+        "series": [
+            {
+                "label": str(label),
+                "x": [jsonify(v) for v in x],
+                "y": [jsonify(v) for v in y],
+            }
+            for label, x, y in result.series
+        ],
+    }
+
+
+def from_record(record: dict[str, object]) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from :func:`to_record` output."""
+    schema = record.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported result record schema {schema!r}; "
+            f"this build reads schema {SCHEMA_VERSION}"
+        )
+    return ExperimentResult(
+        experiment_id=str(record["experiment_id"]),
+        title=str(record["title"]),
+        paper_claim=str(record["paper_claim"]),
+        headers=list(record["headers"]),
+        rows=[list(row) for row in record["rows"]],
+        metrics={k: float(v) for k, v in record["metrics"].items()},
+        series=[
+            (entry["label"], list(entry["x"]), list(entry["y"]))
+            for entry in record.get("series", [])
+        ],
+    )
+
+
+def dumps(result: ExperimentResult, indent: int | None = None) -> str:
+    """Serialise a result to a JSON string."""
+    return json.dumps(to_record(result), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> ExperimentResult:
+    """Deserialise a result from :func:`dumps` output."""
+    return from_record(json.loads(text))
+
+
+def save(result: ExperimentResult, path: str | pathlib.Path) -> pathlib.Path:
+    """Write a result to ``path`` as JSON; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dumps(result, indent=2), encoding="utf-8")
+    return path
+
+
+def load(path: str | pathlib.Path) -> ExperimentResult:
+    """Read a result previously written by :func:`save`."""
+    return loads(pathlib.Path(path).read_text(encoding="utf-8"))
+
+
+def jsonify(value: object) -> object:
+    """Canonicalise one value to JSON-native types.
+
+    Numpy scalars and arrays are detected by their ``tolist`` method so
+    this module never has to import numpy itself.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if hasattr(value, "tolist"):  # numpy scalar or ndarray
+        return jsonify(value.tolist())
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    raise TypeError(
+        f"cannot canonicalise {type(value).__name__!r} value {value!r} "
+        "for a result record"
+    )

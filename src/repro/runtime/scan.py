@@ -1,0 +1,313 @@
+"""Composable parameter-scan spaces for the run engine.
+
+The shape follows ARTIQ's ``artiq.language.scan``: each scan object is a
+finite, re-iterable description of a parameter space that can be
+serialised (``describe``) and rebuilt (``scan_from_describe``).  Unlike
+ARTIQ's scans — which yield bare values for a single ``Scannable``
+argument — these yield ``{name: value}`` dicts so scans over different
+parameters compose into grids with ``*`` (Cartesian product).
+
+Pure stdlib on purpose: the CLI's cached fast path parses scan specs
+without importing numpy.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Registry of scan type names for (de)serialisation, filled in below.
+_SCAN_TYPES: dict[str, type["Scan"]] = {}
+
+
+class Scan:
+    """Base class: a finite, re-iterable space of parameter points.
+
+    Subclasses yield ``dict[str, value]`` points and declare the
+    parameter ``names`` they bind.  Scans over disjoint names compose
+    with ``*`` into a :class:`GridScan`.
+    """
+
+    #: Parameter names this scan binds (one per yielded dict key).
+    names: tuple[str, ...] = ()
+
+    def points(self) -> Iterator[dict[str, object]]:
+        """Yield each parameter point as a ``{name: value}`` dict."""
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[dict[str, object]]:
+        """Iterate over the points; safe to call repeatedly."""
+        return self.points()
+
+    def __len__(self) -> int:
+        """Number of points in the scan."""
+        raise NotImplementedError
+
+    def __mul__(self, other: "Scan") -> "GridScan":
+        """Cartesian product of two scans over disjoint parameters."""
+        return GridScan(self, other)
+
+    def describe(self) -> dict[str, object]:
+        """A JSON-serialisable description (see ``scan_from_describe``)."""
+        raise NotImplementedError
+
+
+class LinearScan(Scan):
+    """``npoints`` equally spaced values from ``start`` to ``stop``.
+
+    Both endpoints are included; ``npoints == 1`` yields ``start`` only.
+    """
+
+    def __init__(self, name: str, start: float, stop: float, npoints: int) -> None:
+        _check_name(name)
+        if npoints < 1:
+            raise ConfigurationError(
+                f"scan {name!r} needs npoints >= 1, got {npoints}"
+            )
+        self.names = (name,)
+        self.name = name
+        self.start = float(start)
+        self.stop = float(stop)
+        self.npoints = int(npoints)
+
+    def points(self) -> Iterator[dict[str, object]]:
+        """Yield the evenly spaced grid, endpoints included."""
+        if self.npoints == 1:
+            yield {self.name: self.start}
+            return
+        last = self.npoints - 1
+        # Weighted-average form hits both endpoints exactly (no float
+        # drift at i == last, unlike start + span*i/last).
+        for i in range(self.npoints):
+            yield {self.name: (self.start * (last - i) + self.stop * i) / last}
+
+    def __len__(self) -> int:
+        """Number of points in the scan."""
+        return self.npoints
+
+    def describe(self) -> dict[str, object]:
+        """A JSON-serialisable description of this scan."""
+        return {
+            "ty": "LinearScan",
+            "name": self.name,
+            "start": self.start,
+            "stop": self.stop,
+            "npoints": self.npoints,
+        }
+
+
+class LogScan(Scan):
+    """``npoints`` geometrically spaced values from ``start`` to ``stop``.
+
+    Both endpoints must be strictly positive (the spacing is a constant
+    ratio); ``npoints == 1`` yields ``start`` only.
+    """
+
+    def __init__(self, name: str, start: float, stop: float, npoints: int) -> None:
+        _check_name(name)
+        if npoints < 1:
+            raise ConfigurationError(
+                f"scan {name!r} needs npoints >= 1, got {npoints}"
+            )
+        if start <= 0 or stop <= 0:
+            raise ConfigurationError(
+                f"log scan {name!r} needs positive endpoints, got "
+                f"{start}..{stop}"
+            )
+        self.names = (name,)
+        self.name = name
+        self.start = float(start)
+        self.stop = float(stop)
+        self.npoints = int(npoints)
+
+    def points(self) -> Iterator[dict[str, object]]:
+        """Yield the geometric grid, endpoints included."""
+        if self.npoints == 1:
+            yield {self.name: self.start}
+            return
+        ratio = self.stop / self.start
+        last = self.npoints - 1
+        for i in range(self.npoints):
+            yield {self.name: self.start * ratio ** (i / last)}
+
+    def __len__(self) -> int:
+        """Number of points in the scan."""
+        return self.npoints
+
+    def describe(self) -> dict[str, object]:
+        """A JSON-serialisable description of this scan."""
+        return {
+            "ty": "LogScan",
+            "name": self.name,
+            "start": self.start,
+            "stop": self.stop,
+            "npoints": self.npoints,
+        }
+
+
+class ListScan(Scan):
+    """An explicit, ordered list of values for one parameter."""
+
+    def __init__(self, name: str, values: Sequence[object]) -> None:
+        _check_name(name)
+        values = list(values)
+        if not values:
+            raise ConfigurationError(f"scan {name!r} has no values")
+        self.names = (name,)
+        self.name = name
+        self.values = values
+
+    def points(self) -> Iterator[dict[str, object]]:
+        """Yield each explicit value in order."""
+        for value in self.values:
+            yield {self.name: value}
+
+    def __len__(self) -> int:
+        """Number of points in the scan."""
+        return len(self.values)
+
+    def describe(self) -> dict[str, object]:
+        """A JSON-serialisable description of this scan."""
+        return {"ty": "ListScan", "name": self.name, "values": list(self.values)}
+
+
+class GridScan(Scan):
+    """Cartesian product of child scans over disjoint parameters.
+
+    Nested grids flatten, so ``(a * b) * c`` and ``a * (b * c)`` bind the
+    same points in the same (row-major) order.
+    """
+
+    def __init__(self, *scans: Scan) -> None:
+        flattened: list[Scan] = []
+        for scan in scans:
+            if isinstance(scan, GridScan):
+                flattened.extend(scan.scans)
+            else:
+                flattened.append(scan)
+        if not flattened:
+            raise ConfigurationError("grid scan needs at least one child scan")
+        names: list[str] = []
+        for scan in flattened:
+            for name in scan.names:
+                if name in names:
+                    raise ConfigurationError(
+                        f"grid scan binds parameter {name!r} twice"
+                    )
+                names.append(name)
+        self.scans = tuple(flattened)
+        self.names = tuple(names)
+
+    def points(self) -> Iterator[dict[str, object]]:
+        """Yield the row-major Cartesian product of the child scans."""
+        for combo in itertools.product(*self.scans):
+            merged: dict[str, object] = {}
+            for point in combo:
+                merged.update(point)
+            yield merged
+
+    def __len__(self) -> int:
+        """Product of the child scan lengths."""
+        total = 1
+        for scan in self.scans:
+            total *= len(scan)
+        return total
+
+    def describe(self) -> dict[str, object]:
+        """A JSON-serialisable description of this scan."""
+        return {"ty": "GridScan", "scans": [s.describe() for s in self.scans]}
+
+
+_SCAN_TYPES.update(
+    {
+        "LinearScan": LinearScan,
+        "LogScan": LogScan,
+        "ListScan": ListScan,
+        "GridScan": GridScan,
+    }
+)
+
+
+def scan_from_describe(description: dict[str, object]) -> Scan:
+    """Rebuild a scan from its :meth:`Scan.describe` dict."""
+    try:
+        ty = description["ty"]
+    except (TypeError, KeyError):
+        raise ConfigurationError(
+            f"scan description has no 'ty' field: {description!r}"
+        ) from None
+    if ty not in _SCAN_TYPES:
+        raise ConfigurationError(
+            f"unknown scan type {ty!r}; known: {sorted(_SCAN_TYPES)}"
+        )
+    if ty == "GridScan":
+        children = description.get("scans", [])
+        return GridScan(*(scan_from_describe(c) for c in children))
+    if ty == "ListScan":
+        return ListScan(str(description["name"]), list(description["values"]))
+    cls = _SCAN_TYPES[ty]
+    return cls(
+        str(description["name"]),
+        float(description["start"]),
+        float(description["stop"]),
+        int(description["npoints"]),
+    )
+
+
+def parse_scan(spec: str) -> Scan:
+    """Parse a CLI scan spec into a scan object.
+
+    Grammar (mirrors the ``repro sweep --scan`` flag)::
+
+        name=lo:hi:n          LinearScan over [lo, hi] with n points
+        name=log:lo:hi:n      LogScan over [lo, hi] with n points
+        name=a,b,c            ListScan with the explicit values
+        name=value            single-point ListScan
+    """
+    name, sep, body = spec.partition("=")
+    name = name.strip()
+    body = body.strip()
+    if not sep or not name or not body:
+        raise ConfigurationError(
+            f"bad scan spec {spec!r}; expected name=lo:hi:n, "
+            "name=log:lo:hi:n, or name=a,b,c"
+        )
+    if ":" in body:
+        parts = body.split(":")
+        if parts[0].lower() == "log":
+            parts = parts[1:]
+            cls: type[Scan] = LogScan
+        else:
+            cls = LinearScan
+        if len(parts) != 3:
+            raise ConfigurationError(
+                f"bad range in scan spec {spec!r}; expected lo:hi:n"
+            )
+        lo, hi = (_parse_number(p, spec) for p in parts[:2])
+        try:
+            npoints = int(parts[2])
+        except ValueError:
+            raise ConfigurationError(
+                f"bad point count {parts[2]!r} in scan spec {spec!r}"
+            ) from None
+        return cls(name, lo, hi, npoints)
+    values = [_parse_number(v, spec) for v in body.split(",")]
+    return ListScan(name, values)
+
+
+def _parse_number(token: str, spec: str) -> float:
+    """Parse one numeric token of a scan spec, with context on failure."""
+    try:
+        return float(token)
+    except ValueError:
+        raise ConfigurationError(
+            f"bad number {token!r} in scan spec {spec!r}"
+        ) from None
+
+
+def _check_name(name: str) -> None:
+    """Reject parameter names that cannot be CLI/JSON round-tripped."""
+    if not name or "=" in name or ":" in name or "," in name:
+        raise ConfigurationError(f"bad scan parameter name {name!r}")

@@ -2,25 +2,26 @@
 
 These helpers are deliberately dependency-light; everything in
 :mod:`repro.utils` is usable without importing the physics packages.
+Submodule exports resolve lazily (PEP 562) so that importing, say, the
+pure-python table renderer never drags in numpy via the RNG module —
+the run engine's cache-served CLI path depends on that.
 """
 
-from repro.utils.units import (
-    db_to_linear,
-    dbm_to_watts,
-    linear_to_db,
-    watts_to_dbm,
-)
-from repro.utils.rng import RandomStream, derive_seed
-from repro.utils.tables import format_series, format_table, sparkline
+from repro._lazy import lazy_exports
 
-__all__ = [
-    "RandomStream",
-    "db_to_linear",
-    "dbm_to_watts",
-    "derive_seed",
-    "format_series",
-    "format_table",
-    "linear_to_db",
-    "sparkline",
-    "watts_to_dbm",
-]
+#: Lazily exported names and the submodule each lives in.
+_LAZY_EXPORTS = {
+    "db_to_linear": "repro.utils.units",
+    "dbm_to_watts": "repro.utils.units",
+    "linear_to_db": "repro.utils.units",
+    "watts_to_dbm": "repro.utils.units",
+    "RandomStream": "repro.utils.rng",
+    "derive_seed": "repro.utils.rng",
+    "format_series": "repro.utils.tables",
+    "format_table": "repro.utils.tables",
+    "sparkline": "repro.utils.tables",
+}
+
+__all__ = sorted(_LAZY_EXPORTS)
+
+__getattr__ = lazy_exports("repro.utils", globals(), _LAZY_EXPORTS)

@@ -7,6 +7,16 @@ import pytest
 from repro.utils.rng import RandomStream
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_runtime_root(tmp_path, monkeypatch):
+    """Point the run engine's default root at a per-test temp directory.
+
+    Keeps CLI/engine tests from writing ``repro-runs/`` into the working
+    tree and from sharing cache entries across tests.
+    """
+    monkeypatch.setenv("REPRO_RUNTIME_ROOT", str(tmp_path / "repro-runs"))
+
+
 @pytest.fixture
 def rng() -> RandomStream:
     """A deterministic random stream; every test sees the same draws."""

@@ -1,0 +1,166 @@
+"""CLI integration for the run engine: sweep, archive, engine flags."""
+
+import pytest
+
+from repro.cli import _COMMANDS, _parse_overrides, build_parser, main
+from repro.errors import ConfigurationError
+
+
+class TestParser:
+    def test_sweep_options(self):
+        args = build_parser().parse_args(
+            [
+                "sweep",
+                "E6",
+                "--scan",
+                "pump_mw=2:20:10",
+                "--parallel",
+                "4",
+                "--no-cache",
+                "--quick",
+            ]
+        )
+        assert args.command == "sweep"
+        assert args.scans == ["pump_mw=2:20:10"]
+        assert args.parallel == 4
+        assert args.no_cache and args.quick
+
+    def test_sweep_requires_scan(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "E6"])
+
+    def test_run_engine_flags(self):
+        args = build_parser().parse_args(
+            ["run", "E6", "--set", "pump_mw=8", "--parallel", "2", "--no-archive"]
+        )
+        assert args.overrides == ["pump_mw=8"]
+        assert args.parallel == 2 and args.no_archive
+
+    def test_archive_parses(self):
+        args = build_parser().parse_args(["archive"])
+        assert args.command == "archive" and args.run_id is None
+
+    def test_every_subcommand_has_a_handler(self):
+        parser = build_parser()
+        subparsers = next(
+            action for action in parser._actions if action.choices
+        )
+        assert set(subparsers.choices) == set(_COMMANDS)
+
+    def test_unwired_command_prints_diagnostic(self, monkeypatch, capsys):
+        import argparse
+
+        import repro.cli as cli
+
+        fake = argparse.ArgumentParser()
+        fake.add_argument("command")
+        monkeypatch.setattr(cli, "build_parser", lambda: fake)
+        assert cli.main(["mystery"]) == 2
+        assert "no handler" in capsys.readouterr().err
+
+
+class TestOverrideParsing:
+    def test_numbers_and_strings(self):
+        parsed = _parse_overrides(["a=1", "b=2.5", "c=hello"])
+        assert parsed == {"a": 1, "b": 2.5, "c": "hello"}
+        assert isinstance(parsed["a"], int)
+
+    @pytest.mark.parametrize("pair", ["", "a", "a=", "=2"])
+    def test_bad_pairs_rejected(self, pair):
+        with pytest.raises(ConfigurationError):
+            _parse_overrides([pair])
+
+
+class TestSweepCommand:
+    def test_sweep_runs_and_archives(self, capsys):
+        code = main(
+            ["sweep", "E6", "--scan", "pump_mw=2:20:3", "--quick"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Sweep E6" in out
+        assert "3 points (0 cached" in out
+        assert "archived under" in out
+
+    def test_second_sweep_is_cached(self, capsys):
+        argv = ["sweep", "E6", "--scan", "pump_mw=2:20:3", "--quick"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "3 points (3 cached" in capsys.readouterr().out
+
+    def test_no_cache_flag_recomputes(self, capsys):
+        argv = ["sweep", "E6", "--scan", "pump_mw=2:20:3", "--quick", "--no-cache"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "3 points (0 cached" in capsys.readouterr().out
+
+    def test_grid_sweep_over_two_parameters(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "E6",
+                "--scan",
+                "pump_mw=4:16:2",
+                "--scan",
+                "num_points=10,12",
+                "--quick",
+            ]
+        )
+        assert code == 0
+        assert "4 points" in capsys.readouterr().out
+
+    def test_bad_scan_spec_fails_cleanly(self, capsys):
+        assert main(["sweep", "E6", "--scan", "pump_mw=bogus"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestArchiveCommand:
+    def test_empty_archive_lists_nothing(self, capsys):
+        assert main(["archive"]) == 0
+        assert "no archived runs" in capsys.readouterr().out
+
+    def test_list_and_inspect_after_run(self, capsys):
+        assert main(["run", "E6", "--quick", "--seed", "5"]) == 0
+        capsys.readouterr()
+        assert main(["archive"]) == 0
+        out = capsys.readouterr().out
+        assert "E6-" in out
+        run_id = next(
+            token for token in out.split() if token.startswith("E6-")
+        )
+        assert main(["archive", run_id]) == 0
+        inspected = capsys.readouterr().out
+        assert "fingerprint" in inspected and "[E6]" in inspected
+
+    def test_unknown_run_id_fails_cleanly(self, capsys):
+        assert main(["archive", "E6-nope"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRunThroughEngine:
+    def test_run_with_override(self, capsys):
+        assert main(["run", "E6", "--quick", "--set", "pump_mw=18"]) == 0
+        assert "output_at_pump_uw" in capsys.readouterr().out
+
+    def test_run_all_quick_parallel_smoke(self, capsys):
+        code = main(["run", "all", "--quick", "--parallel", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for key in (f"E{i}" for i in range(1, 10)):
+            assert f"[{key}]" in out
+
+    def test_run_all_rejects_set(self, capsys):
+        assert main(["run", "all", "--quick", "--set", "pump_mw=3"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_quick_through_engine(self, capsys):
+        # Cached by the run-all smoke test only within one process; here
+        # it recomputes — keep it cheap by reusing the same tmp cache.
+        assert main(["run", "all", "--quick"]) in (0, 1)
+        capsys.readouterr()
+        code = main(["report", "--quick"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Paper vs measured" in out

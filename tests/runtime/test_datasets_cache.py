@@ -1,0 +1,105 @@
+"""Dataset persistence and content-addressed result caching."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.cache import ResultCache, fingerprint
+from repro.runtime.datasets import DatasetStore, store_from_result
+
+from tests.runtime.test_records import make_result
+
+
+class TestDatasetStore:
+    def test_set_get(self):
+        store = DatasetStore()
+        store.set_dataset("a/b", [1, 2, 3])
+        assert store.get_dataset("a/b") == [1, 2, 3]
+        assert "a/b" in store and len(store) == 1
+
+    def test_missing_key_reports_available(self):
+        store = DatasetStore()
+        store.set_dataset("present", 1.0)
+        with pytest.raises(KeyError, match="present"):
+            store.get_dataset("absent")
+        assert store.get_dataset("absent", default=None) is None
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DatasetStore().set_dataset("", 1)
+
+    def test_save_load_round_trip(self, tmp_path):
+        store = DatasetStore()
+        store.set_dataset("metrics/car", 13.1)
+        store.set_dataset("table/rows", [["a", 1], ["b", 2]])
+        store.set_dataset("series/fringe/x", np.linspace(0, 1, 4))
+        store.set_dataset("transient", 99.0, archive=False)
+        store.save(tmp_path)
+
+        loaded = DatasetStore.load(tmp_path)
+        assert loaded.get_dataset("metrics/car") == 13.1
+        assert loaded.get_dataset("table/rows") == [["a", 1], ["b", 2]]
+        assert np.allclose(
+            loaded.get_dataset("series/fringe/x"), np.linspace(0, 1, 4)
+        )
+        assert "transient" not in loaded
+
+    def test_store_from_result_layout(self, tmp_path):
+        store = store_from_result(make_result())
+        assert store.get_dataset("metrics/car") == 13.1
+        assert store.get_dataset("table/headers") == ["name", "value", "ok"]
+        x = store.get_dataset("series/fringe/x")
+        assert x.shape == (5,)
+        # And it archives/loads cleanly.
+        loaded = DatasetStore.load(store.save(tmp_path))
+        assert loaded.get_dataset("metrics/rate_hz") == 21.0
+
+
+class TestFingerprint:
+    def test_deterministic_and_order_insensitive(self):
+        a = fingerprint("E6", 0, False, {"x": 1.0, "y": 2.0})
+        b = fingerprint("e6", 0, False, {"y": 2.0, "x": 1.0})
+        assert a == b
+
+    def test_sensitive_to_every_field(self):
+        base = fingerprint("E6", 0, False, {"x": 1.0})
+        assert fingerprint("E5", 0, False, {"x": 1.0}) != base
+        assert fingerprint("E6", 1, False, {"x": 1.0}) != base
+        assert fingerprint("E6", 0, True, {"x": 1.0}) != base
+        assert fingerprint("E6", 0, False, {"x": 1.5}) != base
+        assert fingerprint("E6", 0, False, {}) != base
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = fingerprint("E0", 0, True, {})
+        assert cache.get(key) is None
+        assert cache.misses == 1
+
+        result = make_result()
+        cache.put(key, result, duration_s=1.25)
+        hit = cache.get(key)
+        assert hit is not None
+        assert cache.hits == 1
+        assert hit.metric("car") == result.metric("car")
+        assert len(cache) == 1
+
+    def test_distinct_keys_do_not_collide(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(fingerprint("E0", 0, True, {}), make_result())
+        assert cache.get(fingerprint("E0", 1, True, {})) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = fingerprint("E0", 0, True, {})
+        cache.put(key, make_result())
+        cache.path_for(key).write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(fingerprint("E0", 0, True, {}), make_result())
+        cache.put(fingerprint("E0", 1, True, {}), make_result())
+        assert cache.clear() == 2
+        assert len(cache) == 0

@@ -1,0 +1,157 @@
+"""RunEngine behaviour: caching, archiving, sweeps, parallel batches."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.engine import (
+    MANIFEST_FILE,
+    RESULT_FILE,
+    RunEngine,
+    RunSpec,
+    default_root,
+)
+from repro.runtime.scan import LinearScan, ListScan
+
+
+@pytest.fixture
+def engine(tmp_path):
+    """A quiet engine rooted in the test's temp directory."""
+    return RunEngine(root=tmp_path / "engine-root")
+
+
+class TestRunSpec:
+    def test_normalisation(self):
+        spec = RunSpec.make("e6", seed=2, quick=True, params={"b": 1, "a": 2})
+        assert spec.experiment_id == "E6"
+        assert spec.params == (("a", 2), ("b", 1))
+        assert spec.params_dict() == {"a": 2, "b": 1}
+
+    def test_fingerprint_matches_param_order_invariance(self):
+        a = RunSpec.make("E6", params={"x": 1.0, "y": 2.0})
+        b = RunSpec.make("E6", params={"y": 2.0, "x": 1.0})
+        assert a.fingerprint() == b.fingerprint()
+        assert a.run_id() == b.run_id()
+
+    def test_label_mentions_everything(self):
+        label = RunSpec.make("E6", seed=3, quick=True, params={"x": 1}).label()
+        assert "E6" in label and "seed=3" in label and "x=1" in label
+
+
+class TestDefaultRoot:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RUNTIME_ROOT", str(tmp_path / "custom"))
+        assert default_root() == tmp_path / "custom"
+
+
+class TestSingleRun:
+    def test_cold_run_archives_and_caches(self, engine):
+        outcome = engine.run("E6", quick=True)
+        assert not outcome.cached
+        assert outcome.result.experiment_id == "E6"
+        assert outcome.run_dir is not None
+        for name in (MANIFEST_FILE, RESULT_FILE, "datasets.json"):
+            assert (outcome.run_dir / name).exists(), name
+        manifest = json.loads(
+            (outcome.run_dir / MANIFEST_FILE).read_text(encoding="utf-8")
+        )
+        assert manifest["experiment_id"] == "E6"
+        assert manifest["quick"] is True
+
+    def test_second_run_is_cache_hit(self, engine):
+        cold = engine.run("E6", quick=True)
+        warm = engine.run("E6", quick=True)
+        assert not cold.cached and warm.cached
+        assert warm.result.metrics == pytest.approx(cold.result.metrics)
+        assert warm.duration_s < cold.duration_s
+
+    def test_param_override_changes_fingerprint(self, engine):
+        base = engine.run("E6", quick=True)
+        tuned = engine.run("E6", quick=True, params={"pump_mw": 18.0})
+        assert tuned.run_id != base.run_id
+        assert not tuned.cached
+        assert tuned.result.metric("output_at_pump_uw") > 0
+
+    def test_no_cache_engine_always_recomputes(self, tmp_path):
+        engine = RunEngine(root=tmp_path, use_cache=False)
+        assert not engine.run("E6", quick=True).cached
+        assert not engine.run("E6", quick=True).cached
+
+    def test_unknown_param_rejected(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.run("E6", quick=True, params={"bogus": 1})
+
+    def test_bad_worker_count_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            RunEngine(root=tmp_path, max_workers=0)
+
+
+class TestSweep:
+    def test_sweep_archives_every_point(self, engine):
+        scan = LinearScan("pump_mw", 2.0, 20.0, 4)
+        outcome = engine.sweep("E6", scan, quick=True)
+        assert len(outcome.outcomes) == 4
+        assert outcome.num_cached == 0
+        for run in outcome.outcomes:
+            assert run.run_dir is not None and run.run_dir.exists()
+        points, values = outcome.metric_series("output_at_pump_uw")
+        assert len(points) == len(values) == 4
+        # The transfer curve grows across the threshold.
+        assert values[-1] > values[0]
+
+    def test_repeat_sweep_served_from_cache(self, engine):
+        scan = LinearScan("pump_mw", 2.0, 20.0, 4)
+        engine.sweep("E6", scan, quick=True)
+        again = engine.sweep("E6", scan, quick=True)
+        assert again.num_cached == 4
+
+    def test_base_params_compose_with_scan(self, engine):
+        scan = ListScan("pump_mw", [4.0, 16.0])
+        outcome = engine.sweep(
+            "E6", scan, quick=True, base_params={"num_points": 12}
+        )
+        assert all(
+            o.spec.params_dict()["num_points"] == 12 for o in outcome.outcomes
+        )
+
+
+class TestParallel:
+    def test_parallel_batch_matches_serial(self, tmp_path):
+        specs = [
+            RunSpec.make("E4", quick=True),
+            RunSpec.make("E6", quick=True),
+            RunSpec.make("E7", quick=True),
+        ]
+        serial = RunEngine(root=tmp_path / "serial").run_specs(specs)
+        parallel = RunEngine(root=tmp_path / "parallel", max_workers=3).run_specs(
+            specs
+        )
+        assert [o.spec for o in parallel] == specs
+        for s, p in zip(serial, parallel):
+            assert p.result.metrics == pytest.approx(s.result.metrics)
+
+    def test_progress_reported(self, tmp_path):
+        lines = []
+        engine = RunEngine(
+            root=tmp_path, max_workers=2, progress=lines.append
+        )
+        engine.run_specs(
+            [RunSpec.make("E4", quick=True), RunSpec.make("E6", quick=True)]
+        )
+        assert len(lines) == 2
+        assert any("[2/2]" in line for line in lines)
+
+
+class TestArchiveAccess:
+    def test_list_and_load(self, engine):
+        outcome = engine.run("E6", quick=True, params={"pump_mw": 10.0})
+        manifests = engine.list_runs()
+        assert [m["run_id"] for m in manifests] == [outcome.run_id]
+        manifest, result = engine.load_run(outcome.run_id)
+        assert manifest["params"] == {"pump_mw": 10.0}
+        assert result.metric("pump_mw") == 10.0
+
+    def test_unknown_run_id_rejected(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.load_run("E6-doesnotexist")

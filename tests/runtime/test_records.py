@@ -1,0 +1,94 @@
+"""Lossless ExperimentResult ⇄ JSON round-trip guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.runtime import records
+
+
+def make_result() -> ExperimentResult:
+    """A result exercising every value shape the drivers produce."""
+    return ExperimentResult(
+        experiment_id="E0",
+        title="synthetic fixture",
+        paper_claim="round trips losslessly",
+        headers=["name", "value", "ok"],
+        rows=[
+            ["alpha", 1, True],
+            ["beta", 2.5, False],
+            ["gamma", np.float64(3.25), np.bool_(True)],
+            ["±delta", np.int64(7), "unicode ✓"],
+        ],
+        metrics={"car": 13.1, "rate_hz": np.float64(21.0)},
+        series=[
+            ("fringe", np.linspace(0.0, 1.0, 5), np.arange(5.0) ** 2),
+            ("empty-ish", [0.0], [1.0]),
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_record_is_canonical_fixed_point(self):
+        result = make_result()
+        record = records.to_record(result)
+        rebuilt = records.from_record(record)
+        assert records.to_record(rebuilt) == record
+
+    def test_values_survive(self):
+        rebuilt = records.from_record(records.to_record(make_result()))
+        assert rebuilt.experiment_id == "E0"
+        assert rebuilt.metric("car") == 13.1
+        assert rebuilt.rows[2][1] == 3.25
+        assert rebuilt.rows[3][2] == "unicode ✓"
+        label, x, y = rebuilt.series[0]
+        assert label == "fringe"
+        assert x == pytest.approx(list(np.linspace(0.0, 1.0, 5)))
+        assert y == pytest.approx([0.0, 1.0, 4.0, 9.0, 16.0])
+
+    def test_text_rendering_stable(self):
+        # One pass canonicalises numpy types (np.bool_ -> bool); after
+        # that the rendering is a fixed point of the round trip.
+        canonical = records.from_record(records.to_record(make_result()))
+        rebuilt = records.from_record(records.to_record(canonical))
+        assert rebuilt.to_text() == canonical.to_text()
+
+    def test_dumps_loads(self):
+        result = make_result()
+        text = records.dumps(result)
+        assert records.to_record(records.loads(text)) == records.to_record(result)
+
+    def test_save_load_file(self, tmp_path):
+        result = make_result()
+        path = records.save(result, tmp_path / "nested" / "result.json")
+        assert path.exists()
+        loaded = records.load(path)
+        assert records.to_record(loaded) == records.to_record(result)
+
+
+class TestValidation:
+    def test_wrong_schema_rejected(self):
+        record = records.to_record(make_result())
+        record["schema"] = 999
+        with pytest.raises(ValueError):
+            records.from_record(record)
+
+    def test_unserialisable_value_rejected(self):
+        with pytest.raises(TypeError):
+            records.jsonify(object())
+
+    def test_jsonify_handles_nested_containers(self):
+        value = {"a": (1, np.float64(2.0)), "b": [np.arange(3)]}
+        assert records.jsonify(value) == {"a": [1, 2.0], "b": [[0, 1, 2]]}
+
+
+class TestRealDrivers:
+    @pytest.mark.parametrize("key", ["E4", "E6", "E7"])
+    def test_driver_results_round_trip(self, key):
+        from repro.experiments.registry import run_experiment
+
+        result = run_experiment(key, seed=3, quick=True)
+        record = records.to_record(result)
+        rebuilt = records.from_record(record)
+        assert records.to_record(rebuilt) == record
+        assert rebuilt.metrics == pytest.approx(result.metrics)

@@ -1,0 +1,175 @@
+"""Scan-space laws: iteration, composition, parsing, serialisation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.runtime.scan import (
+    GridScan,
+    LinearScan,
+    ListScan,
+    LogScan,
+    parse_scan,
+    scan_from_describe,
+)
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+positive = st.floats(
+    min_value=1e-3, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+npoints = st.integers(min_value=1, max_value=50)
+
+
+class TestLinearScan:
+    @given(start=finite, stop=finite, n=npoints)
+    @settings(max_examples=60)
+    def test_length_and_endpoints(self, start, stop, n):
+        scan = LinearScan("x", start, stop, n)
+        points = [p["x"] for p in scan]
+        assert len(points) == len(scan) == n
+        assert points[0] == pytest.approx(start)
+        if n > 1:
+            assert points[-1] == pytest.approx(stop)
+
+    @given(start=finite, stop=finite, n=st.integers(min_value=2, max_value=50))
+    @settings(max_examples=60)
+    def test_even_spacing(self, start, stop, n):
+        points = [p["x"] for p in LinearScan("x", start, stop, n)]
+        steps = [b - a for a, b in zip(points, points[1:])]
+        expected = (stop - start) / (n - 1)
+        scale = max(abs(start), abs(stop), 1.0)
+        for step in steps:
+            assert step == pytest.approx(expected, abs=1e-9 * scale)
+
+    def test_reiterable(self):
+        scan = LinearScan("x", 0.0, 1.0, 5)
+        assert list(scan) == list(scan)
+
+    def test_rejects_zero_points(self):
+        with pytest.raises(ConfigurationError):
+            LinearScan("x", 0.0, 1.0, 0)
+
+
+class TestLogScan:
+    @given(start=positive, stop=positive, n=st.integers(min_value=2, max_value=40))
+    @settings(max_examples=60)
+    def test_constant_ratio(self, start, stop, n):
+        points = [p["x"] for p in LogScan("x", start, stop, n)]
+        assert len(points) == n
+        assert points[0] == pytest.approx(start)
+        assert points[-1] == pytest.approx(stop)
+        expected = (stop / start) ** (1.0 / (n - 1))
+        for a, b in zip(points, points[1:]):
+            assert b / a == pytest.approx(expected, rel=1e-9)
+
+    def test_rejects_nonpositive_endpoints(self):
+        with pytest.raises(ConfigurationError):
+            LogScan("x", 0.0, 1.0, 3)
+        with pytest.raises(ConfigurationError):
+            LogScan("x", 1.0, -2.0, 3)
+
+
+class TestListScan:
+    @given(values=st.lists(finite, min_size=1, max_size=20))
+    @settings(max_examples=40)
+    def test_identity(self, values):
+        scan = ListScan("v", values)
+        assert [p["v"] for p in scan] == values
+        assert len(scan) == len(values)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            ListScan("v", [])
+
+
+class TestGridScan:
+    @given(
+        na=st.integers(min_value=1, max_value=6),
+        nb=st.integers(min_value=1, max_value=6),
+        nc=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40)
+    def test_product_law(self, na, nb, nc):
+        a = LinearScan("a", 0.0, 1.0, na)
+        b = LinearScan("b", 0.0, 1.0, nb)
+        c = LinearScan("c", 0.0, 1.0, nc)
+        grid = a * b * c
+        assert len(grid) == na * nb * nc
+        points = list(grid)
+        assert len(points) == na * nb * nc
+        assert all(set(p) == {"a", "b", "c"} for p in points)
+        # Row-major: associativity of * yields the same point sequence.
+        assert points == list(GridScan(a, GridScan(b, c)))
+
+    def test_points_are_cartesian(self):
+        grid = ListScan("a", [1, 2]) * ListScan("b", [10, 20])
+        assert list(grid) == [
+            {"a": 1, "b": 10},
+            {"a": 1, "b": 20},
+            {"a": 2, "b": 10},
+            {"a": 2, "b": 20},
+        ]
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ConfigurationError):
+            LinearScan("x", 0, 1, 2) * LinearScan("x", 0, 1, 2)
+
+
+class TestParse:
+    def test_linear(self):
+        scan = parse_scan("pump_mw=2:20:10")
+        assert isinstance(scan, LinearScan)
+        assert (scan.start, scan.stop, scan.npoints) == (2.0, 20.0, 10)
+
+    def test_log(self):
+        scan = parse_scan("shots=log:10:1000:3")
+        assert isinstance(scan, LogScan)
+        values = [p["shots"] for p in scan]
+        assert values == pytest.approx([10.0, 100.0, 1000.0])
+
+    def test_list(self):
+        scan = parse_scan("seed_days=1,2.5,7")
+        assert isinstance(scan, ListScan)
+        assert [p["seed_days"] for p in scan] == [1.0, 2.5, 7.0]
+
+    def test_single_value(self):
+        scan = parse_scan("x=4.5")
+        assert [p["x"] for p in scan] == [4.5]
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["", "x", "x=", "=1:2:3", "x=1:2", "x=1:2:3:4", "x=a:b:c", "x=1:2:none"],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            parse_scan(spec)
+
+
+class TestDescribe:
+    @pytest.mark.parametrize(
+        "scan",
+        [
+            LinearScan("x", -1.0, 3.0, 7),
+            LogScan("y", 0.5, 32.0, 4),
+            ListScan("z", [1.0, 4.0, 9.0]),
+            GridScan(LinearScan("x", 0, 1, 3), ListScan("z", [5.0])),
+        ],
+    )
+    def test_round_trip(self, scan):
+        rebuilt = scan_from_describe(scan.describe())
+        assert list(rebuilt) == list(scan)
+        assert rebuilt.describe() == scan.describe()
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scan_from_describe({"ty": "MysteryScan"})
+
+    def test_math_consistency(self):
+        # A 3-point log scan hits the geometric mean in the middle.
+        mid = [p["x"] for p in LogScan("x", 2.0, 50.0, 3)][1]
+        assert mid == pytest.approx(math.sqrt(2.0 * 50.0))
