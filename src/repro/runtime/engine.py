@@ -214,18 +214,18 @@ class RunEngine:
         Results come back in input order; misses execute across the
         worker pool when ``max_workers > 1``.
         """
-        outcomes: list[RunOutcome | None] = [None] * len(specs)
-        pending: list[int] = []
-        done = 0
-        for index, spec in enumerate(specs):
-            hit = self._lookup(spec)
-            if hit is not None:
-                outcomes[index] = hit
-                done += 1
-                self._report(done, len(specs), hit)
-            else:
-                pending.append(index)
+        outcomes, pending, done = self._partition_hits(specs)
+        self._run_pending_pool(specs, outcomes, pending, done)
+        return [outcome for outcome in outcomes if outcome is not None]
 
+    def _run_pending_pool(
+        self,
+        specs: list[RunSpec],
+        outcomes: list[RunOutcome | None],
+        pending: list[int],
+        done: int,
+    ) -> None:
+        """Execute cache misses per point, pooled when workers allow."""
         if pending and self.max_workers > 1 and len(pending) > 1:
             from concurrent.futures import ProcessPoolExecutor, as_completed
 
@@ -253,7 +253,6 @@ class RunEngine:
                 outcomes[index] = outcome
                 done += 1
                 self._report(done, len(specs), outcome)
-        return [outcome for outcome in outcomes if outcome is not None]
 
     def sweep(
         self,
@@ -262,11 +261,18 @@ class RunEngine:
         seed: int = 0,
         quick: bool = False,
         base_params: Mapping[str, object] | None = None,
+        batch: bool | None = None,
     ) -> SweepOutcome:
         """Run an experiment once per scan point.
 
         ``base_params`` are fixed overrides applied to every point; scan
-        values win on collision.
+        values win on collision.  ``batch`` selects the execution
+        strategy: ``True`` routes cache misses through
+        :meth:`run_batch` (one in-process vectorized call), ``False``
+        through :meth:`run_specs` (per-point, process pool when
+        ``max_workers > 1``), and ``None`` — the default — picks the
+        batch fast path exactly when the driver ships a native
+        ``run_batch`` and no worker pool was requested.
         """
         points = list(scan)
         specs = []
@@ -276,13 +282,89 @@ class RunEngine:
             specs.append(
                 RunSpec.make(experiment_id, seed=seed, quick=quick, params=merged)
             )
-        outcomes = self.run_specs(specs)
+        outcomes, pending, done = self._partition_hits(specs)
+        if pending:
+            # Decide the execution strategy only once something actually
+            # misses: a fully cached sweep must never import the driver
+            # stack (the registry pulls in numpy — see the lazy-import
+            # invariant in DESIGN.md).
+            if batch is None:
+                from repro.experiments.registry import supports_batch
+
+                batch = self.max_workers == 1 and supports_batch(experiment_id)
+            if batch:
+                self._run_pending_batch(specs, outcomes, pending, done)
+            else:
+                self._run_pending_pool(specs, outcomes, pending, done)
         return SweepOutcome(
             experiment_id=experiment_id.upper(),
             scan_description=scan.describe(),
             points=points,
-            outcomes=outcomes,
+            outcomes=[o for o in outcomes if o is not None],
         )
+
+    def run_batch(self, specs: list[RunSpec]) -> list[RunOutcome]:
+        """Run a batch of same-experiment specs as one in-process call.
+
+        The batched-sweep fast path: cache hits are served exactly as in
+        :meth:`run_specs`, and all misses execute through
+        :func:`repro.experiments.registry.run_experiment_batch` — one
+        in-process call into the driver instead of a process pool of
+        single points.  Results (and therefore cache entries) are
+        identical to per-point execution, and stream back point by
+        point so completed work is persisted even if a later point
+        fails.
+        """
+        ids = {spec.experiment_id for spec in specs}
+        if len(ids) > 1:
+            raise ConfigurationError(
+                f"run_batch needs specs of one experiment, got {sorted(ids)}"
+            )
+        seeds = {spec.seed for spec in specs}
+        quicks = {spec.quick for spec in specs}
+        if len(seeds) > 1 or len(quicks) > 1:
+            raise ConfigurationError(
+                "run_batch needs a single (seed, quick) across the batch"
+            )
+        outcomes, pending, done = self._partition_hits(specs)
+        self._run_pending_batch(specs, outcomes, pending, done)
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def _run_pending_batch(
+        self,
+        specs: list[RunSpec],
+        outcomes: list[RunOutcome | None],
+        pending: list[int],
+        done: int,
+    ) -> None:
+        """Execute cache misses as one in-process registry batch call.
+
+        Results stream back point by point, and each is cached,
+        archived and reported as it arrives — a failure at point k
+        leaves points 0..k-1 persisted, exactly like serial execution.
+        """
+        if not pending:
+            return
+        from repro.experiments.registry import run_experiment_batch
+
+        first = specs[pending[0]]
+        results = run_experiment_batch(
+            first.experiment_id,
+            [specs[index].params_dict() for index in pending],
+            seed=first.seed,
+            quick=first.quick,
+        )
+        pending_iter = iter(pending)
+        last = time.perf_counter()
+        for result in results:
+            index = next(pending_iter)
+            now = time.perf_counter()
+            record = records.to_record(result)
+            outcome = self._complete(specs[index], record, now - last)
+            outcomes[index] = outcome
+            done += 1
+            self._report(done, len(specs), outcome)
+            last = time.perf_counter()
 
     def run_all(self, seed: int = 0, quick: bool = True) -> dict[str, RunOutcome]:
         """Run every registered experiment; returns id → outcome."""
@@ -333,6 +415,27 @@ class RunEngine:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _partition_hits(
+        self, specs: list[RunSpec]
+    ) -> tuple[list[RunOutcome | None], list[int], int]:
+        """Serve cache hits; return (outcomes, pending indices, done).
+
+        Shared by both execution strategies so hit handling (reporting,
+        archive-on-hit) cannot diverge between them.
+        """
+        outcomes: list[RunOutcome | None] = [None] * len(specs)
+        pending: list[int] = []
+        done = 0
+        for index, spec in enumerate(specs):
+            hit = self._lookup(spec)
+            if hit is not None:
+                outcomes[index] = hit
+                done += 1
+                self._report(done, len(specs), hit)
+            else:
+                pending.append(index)
+        return outcomes, pending, done
+
     def _lookup(self, spec: RunSpec) -> RunOutcome | None:
         """A cache-served outcome for ``spec``, or None on a miss."""
         if self.cache is None:

@@ -4,6 +4,15 @@ Drives the full Section IV measurement loop: set the analysis phase,
 accumulate post-selected coincidences for a dwell time, step the piezo,
 fit the resulting fringe, report visibility ± error.  Works for two-photon
 and four-photon (common-phase) scans.
+
+The visibility-error bootstrap ships two implementations selected with
+``impl``: the loop reference resamples and refits one row at a time;
+the vectorized default draws the whole ``(n_resamples, n_steps)`` block
+in one batched call and refits every resample through one
+multi-right-hand-side least squares.  Both consume the caller's
+:class:`RandomStream` identically, so the scanned counts are
+bit-identical between implementations; the bootstrap error can differ
+only at BLAS rounding level.
 """
 
 from __future__ import annotations
@@ -16,11 +25,14 @@ from repro.errors import ConfigurationError
 from repro.quantum.states import DensityMatrix
 from repro.timebin.postselect import coincidence_probability
 from repro.timebin.stabilization import PhaseController
+from repro.utils.dispatch import validate_impl
 from repro.utils.fitting import (
     FringeFit,
     HarmonicFringeFit,
     fit_fringe,
     fit_fringe_harmonics,
+    fit_fringe_harmonics_many,
+    fit_fringe_many,
 )
 from repro.utils.rng import RandomStream
 
@@ -93,8 +105,16 @@ class FringeScan:
         rng: RandomStream,
         num_steps: int = 24,
         phase_span_rad: float = 2.0 * np.pi,
+        impl: str = "vectorized",
     ) -> FringeScanResult:
-        """Execute the scan with Poisson counting noise and phase errors."""
+        """Execute the scan with Poisson counting noise and phase errors.
+
+        All randomness — phase errors, the per-step Poisson counts and
+        the bootstrap resamples of the visibility error — derives from
+        the caller's ``rng``, so the scan is reproducible end-to-end
+        from the experiment seed (and cacheable by the run engine).
+        """
+        validate_impl(impl, "FringeScan impl")
         if num_steps < 6:
             raise ConfigurationError("need at least 6 phase steps")
         if phase_span_rad <= 0:
@@ -103,25 +123,36 @@ class FringeScan:
         actual = self.controller.sample_phase_errors(
             set_points, self.dwell_time_s, rng.child("phases")
         )
-        counts = np.empty(num_steps)
-        for k, phase in enumerate(actual):
-            probability = self.expected_probability(float(phase))
-            mean_counts = self.event_rate_hz * self.dwell_time_s * probability
-            counts[k] = rng.child(f"step{k}").poisson(mean_counts)
+        scale = self.event_rate_hz * self.dwell_time_s
+        means = np.array(
+            [scale * self.expected_probability(float(phase)) for phase in actual]
+        )
+        # Per-step child streams (not one batched draw): keeps the scanned
+        # counts bit-identical to the pre-batching implementation for any
+        # given seed, and identical between impls.  num_steps is tiny, so
+        # the batching win lives in the bootstrap below, not here.
+        counts = np.array(
+            [float(rng.child(f"step{k}").poisson(mean))
+             for k, mean in enumerate(means)]
+        )
 
         # The four-photon common-phase fringe oscillates at 2x the scan
         # phase; rescale so the fundamental of the fit is that component.
         fit_phases = set_points * self._fringe_harmonic()
-        if self.scanned_photon is None and self.state.num_subsystems > 2:
+        harmonic = self.scanned_photon is None and self.state.num_subsystems > 2
+        if harmonic:
             # (1 + cos)^2-shaped fringe: fit two harmonics, visibility from
             # the fitted extrema (a pure sinusoid fit exceeds 1 here).
             fit = fit_fringe_harmonics(fit_phases, counts, harmonics=2)
-            visibility_error = _fringe_visibility_error(
-                fit_phases, counts, harmonic=True
-            )
         else:
             fit = fit_fringe(fit_phases, counts)
-            visibility_error = _fringe_visibility_error(fit_phases, counts)
+        visibility_error = _fringe_visibility_error(
+            fit_phases,
+            counts,
+            rng.child("bootstrap"),
+            harmonic=harmonic,
+            impl=impl,
+        )
         return FringeScanResult(
             phases_rad=set_points,
             counts=counts,
@@ -144,22 +175,35 @@ class FringeScan:
 def _fringe_visibility_error(
     phases: np.ndarray,
     counts: np.ndarray,
+    rng: RandomStream,
     n_resamples: int = 60,
     harmonic: bool = False,
+    impl: str = "vectorized",
 ) -> float:
     """Parametric-bootstrap error of the fitted visibility.
 
     Counts are Poisson, so resample each point from Poisson(observed) and
     refit; the spread of refitted visibilities estimates the one-sigma
-    error, matching how the papers quote fringe visibilities.
+    error, matching how the papers quote fringe visibilities.  The
+    resamples are drawn from the caller's stream (the loop reference one
+    row at a time, the vectorized path as one block — bit-identical
+    draws either way); the vectorized path then refits every resample in
+    a single multi-right-hand-side least squares.
     """
-    rng = np.random.default_rng(12345)
     means = np.clip(counts, 0.01, None)
-    estimates = np.empty(n_resamples)
-    for b in range(n_resamples):
-        resampled = rng.poisson(means).astype(float)
+    if impl == "loop":
+        estimates = np.empty(n_resamples)
+        for b in range(n_resamples):
+            resampled = rng.poisson(means).astype(float)
+            if harmonic:
+                estimates[b] = fit_fringe_harmonics(phases, resampled).visibility
+            else:
+                estimates[b] = fit_fringe(phases, resampled).visibility
+    else:
+        resampled = rng.poisson(means, size=(n_resamples, means.size))
+        resampled = resampled.astype(float)
         if harmonic:
-            estimates[b] = fit_fringe_harmonics(phases, resampled).visibility
+            estimates = fit_fringe_harmonics_many(phases, resampled)
         else:
-            estimates[b] = fit_fringe(phases, resampled).visibility
+            estimates = fit_fringe_many(phases, resampled)
     return float(np.std(estimates, ddof=1))

@@ -13,6 +13,13 @@ and the analysis — exactly as the paper describes — uses the pulsed-laser
 reference to bin tags into slots and post-select central-slot
 coincidences.  Agreement between this path and the POVM path is enforced
 by integration tests.
+
+The analysis chain ships two implementations selected with ``impl``: the
+original per-tag Python path (``"loop"``, set comprehensions over
+(pulse, slot) tuples, kept as the reference oracle) and a batched path
+(``"vectorized"``, the default) that classifies every tag of every phase
+point in stacked numpy arrays.  Random draws are taken from identical
+child streams in both, so counts are bit-identical for identical seeds.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from repro.errors import ConfigurationError
 from repro.quantum import hilbert
 from repro.quantum.states import DensityMatrix
 from repro.timebin.interferometer import UnbalancedMichelson
+from repro.utils.dispatch import validate_impl
 from repro.utils.rng import RandomStream
 
 
@@ -118,6 +126,24 @@ class TimeBinCoincidenceSimulator:
             )
         return joint / total
 
+    def joint_slot_distributions(self, bob_phases_rad: np.ndarray) -> np.ndarray:
+        """Stacked ``(n_phases, 4, 4)`` joint distributions vs Bob's phase.
+
+        Row ``k`` is bit-identical to the single-phase
+        :meth:`joint_slot_distribution` of a simulator with Bob's
+        analyser at ``bob_phases_rad[k]`` — the stacking exists so the
+        batched fringe scan samples every phase point from one array
+        while staying exactly equivalent to the loop reference.
+        """
+        phases = np.asarray(bob_phases_rad, dtype=float)
+        stacked = np.empty((phases.size, 4, 4))
+        for k, phase in enumerate(phases):
+            simulator = dataclasses.replace(
+                self, bob=self.bob.with_phase(float(phase))
+            )
+            stacked[k] = simulator.joint_slot_distribution()
+        return stacked
+
     def simulate(
         self, num_pairs: int, rng: RandomStream
     ) -> TimeBinTagRecord:
@@ -155,7 +181,9 @@ class TimeBinCoincidenceSimulator:
             bin_separation_s=self.bin_separation_s,
         )
 
-    def count_central_coincidences(self, record: TimeBinTagRecord) -> int:
+    def count_central_coincidences(
+        self, record: TimeBinTagRecord, impl: str = "vectorized"
+    ) -> int:
         """Post-select central-slot coincidences from the raw tags.
 
         Implements the paper's analysis: each tag is referenced to its
@@ -163,36 +191,148 @@ class TimeBinCoincidenceSimulator:
         from the arrival time modulo the pulse period, and only events
         with *both* photons in slot 1 of the *same* pulse are kept.
         """
-        alice = _classify_slots(record.alice_tags_s, record)
-        bob = _classify_slots(record.bob_tags_s, record)
-        central_a = {
-            pulse for pulse, slot in alice if slot == 1
-        }
-        central_b = {
-            pulse for pulse, slot in bob if slot == 1
-        }
-        return len(central_a & central_b)
+        if validate_impl(impl, "count_central_coincidences impl") == "loop":
+            alice = _classify_slots(record.alice_tags_s, record)
+            bob = _classify_slots(record.bob_tags_s, record)
+            central_a = {
+                pulse for pulse, slot in alice if slot == 1
+            }
+            central_b = {
+                pulse for pulse, slot in bob if slot == 1
+            }
+            return len(central_a & central_b)
+        pulse_a, slot_a = _classify_slot_arrays(record.alice_tags_s, record)
+        pulse_b, slot_b = _classify_slot_arrays(record.bob_tags_s, record)
+        central_a = np.unique(pulse_a[slot_a == 1])
+        central_b = np.unique(pulse_b[slot_b == 1])
+        return int(np.intersect1d(central_a, central_b,
+                                  assume_unique=True).size)
 
     def fringe_scan(
         self,
         phases_rad: np.ndarray,
         pairs_per_point: int,
         rng: RandomStream,
+        impl: str = "vectorized",
     ) -> np.ndarray:
-        """Central-slot coincidence counts vs Bob's analyser phase."""
+        """Central-slot coincidence counts vs Bob's analyser phase.
+
+        The loop reference simulates and post-selects one phase point at
+        a time; the vectorized path draws the same per-phase outcomes
+        (identical child streams, so the tags are bit-identical), stacks
+        them into ``(n_phases, pairs_per_point)`` arrays and classifies
+        every tag of the whole scan in one batch.
+        """
         phases = np.asarray(phases_rad, dtype=float)
-        counts = np.empty(phases.size)
-        for k, phase in enumerate(phases):
-            simulator = dataclasses.replace(
-                self, bob=self.bob.with_phase(float(phase))
+        if pairs_per_point < 1:
+            raise ConfigurationError("need at least one pair")
+        if validate_impl(impl, "fringe_scan impl") == "loop":
+            counts = np.empty(phases.size)
+            for k, phase in enumerate(phases):
+                simulator = dataclasses.replace(
+                    self, bob=self.bob.with_phase(float(phase))
+                )
+                record = simulator.simulate(pairs_per_point, rng.child(f"p{k}"))
+                counts[k] = simulator.count_central_coincidences(
+                    record, impl="loop"
+                )
+            return counts
+        return self._fringe_scan_vectorized(phases, pairs_per_point, rng)
+
+    def _fringe_scan_vectorized(
+        self,
+        phases: np.ndarray,
+        pairs_per_point: int,
+        rng: RandomStream,
+    ) -> np.ndarray:
+        """Batched fringe scan over a stacked (n_phases, num_pairs) block.
+
+        Random draws reuse the loop reference's exact child streams (one
+        ``choice`` and two jitter draws per phase point — negligible next
+        to the per-tag work), so every tag equals the loop path's; all
+        per-tag processing (tag synthesis, slot classification, per-pulse
+        coincidence post-selection) then runs once over the whole scan.
+        """
+        n_phases = phases.size
+        if n_phases == 0:
+            return np.empty(0)
+        joints = self.joint_slot_distributions(phases)
+        flats = joints.reshape(n_phases, 16)
+        outcome_ids = np.arange(16)
+        outcomes = np.empty((n_phases, pairs_per_point), dtype=np.int64)
+        jitter_a: list[np.ndarray] = []
+        jitter_b: list[np.ndarray] = []
+        for k in range(n_phases):
+            point_rng = rng.child(f"p{k}")
+            outcomes[k] = point_rng.choice(
+                outcome_ids, size=pairs_per_point, p=flats[k]
             )
-            record = simulator.simulate(pairs_per_point, rng.child(f"p{k}"))
-            counts[k] = simulator.count_central_coincidences(record)
+            detected_a = int((outcomes[k] // 4 < 3).sum())
+            detected_b = int((outcomes[k] % 4 < 3).sum())
+            jitter_a.append(
+                point_rng.child("alice").normal(
+                    0.0, self.jitter_sigma_s, detected_a
+                )
+            )
+            jitter_b.append(
+                point_rng.child("bob").normal(
+                    0.0, self.jitter_sigma_s, detected_b
+                )
+            )
+
+        period = 1.0 / self.repetition_rate_hz
+
+        def central_grid(slots, jitter):
+            """Central-slot tags as a boolean (phase, pulse) occupancy grid.
+
+            Classification replays the loop oracle's float operations tag
+            by tag; the (phase, pulse) pairs then land in a flat boolean
+            grid, so duplicate tags collapse exactly like the oracle's
+            sets and the A∧B intersection is a single elementwise AND.
+            Tags whose pulse jitters outside [0, num_pairs) cannot fit the
+            grid and come back as a (rare, usually empty) set instead.
+            """
+            phase_idx, indices = np.nonzero(slots < 3)
+            times = (
+                indices * period
+                + slots[phase_idx, indices] * self.bin_separation_s
+                + np.concatenate(jitter)
+            )
+            offset = np.mod(times, period)
+            pulse = np.round((times - offset) / period).astype(np.int64)
+            # clip(round(offset/ΔT), 0, 2) == 1 iff round(offset/ΔT) == 1,
+            # so the oracle's boundary clip folds into the equality test.
+            central = np.round(offset / self.bin_separation_s) == 1.0
+            in_grid = central & (pulse >= 0) & (pulse < pairs_per_point)
+            grid = np.zeros(n_phases * pairs_per_point, dtype=bool)
+            grid[phase_idx[in_grid] * pairs_per_point + pulse[in_grid]] = True
+            outside = central & ~in_grid
+            outliers = set(
+                zip(phase_idx[outside].tolist(), pulse[outside].tolist())
+            )
+            return grid, outliers
+
+        both, outliers_a = central_grid(outcomes // 4, jitter_a)
+        grid_b, outliers_b = central_grid(outcomes % 4, jitter_b)
+        both &= grid_b
+        counts = np.bincount(
+            np.nonzero(both)[0] // pairs_per_point, minlength=n_phases
+        ).astype(float)
+        for phase_idx, _ in outliers_a & outliers_b:
+            counts[phase_idx] += 1.0
         return counts
 
 
 def _classify_slots(tags_s: np.ndarray, record: TimeBinTagRecord):
-    """(pulse index, slot) for each tag, from timing alone."""
+    """(pulse index, slot) tuples for each tag — the loop oracle's view."""
+    pulse, slot = _classify_slot_arrays(tags_s, record)
+    return list(zip(pulse.tolist(), slot.tolist()))
+
+
+def _classify_slot_arrays(
+    tags_s: np.ndarray, record: TimeBinTagRecord
+) -> tuple[np.ndarray, np.ndarray]:
+    """(pulse index, slot) arrays for each tag, from timing alone."""
     period = record.pulse_period_s
     pulse = np.round(
         (tags_s - np.mod(tags_s, period)) / period
@@ -201,4 +341,4 @@ def _classify_slots(tags_s: np.ndarray, record: TimeBinTagRecord):
     slot = np.round(offset / record.bin_separation_s).astype(int)
     # Guard against jitter pushing a tag over the pulse boundary.
     slot = np.clip(slot, 0, 2)
-    return list(zip(pulse.tolist(), slot.tolist()))
+    return pulse, slot

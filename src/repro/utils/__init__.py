@@ -15,6 +15,8 @@ _LAZY_EXPORTS = {
     "dbm_to_watts": "repro.utils.units",
     "linear_to_db": "repro.utils.units",
     "watts_to_dbm": "repro.utils.units",
+    "IMPLEMENTATIONS": "repro.utils.dispatch",
+    "validate_impl": "repro.utils.dispatch",
     "RandomStream": "repro.utils.rng",
     "derive_seed": "repro.utils.rng",
     "format_series": "repro.utils.tables",

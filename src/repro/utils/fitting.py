@@ -72,6 +72,70 @@ def fit_fringe(phases: np.ndarray, counts: np.ndarray) -> FringeFit:
     )
 
 
+def fit_fringe_many(phases: np.ndarray, counts_matrix: np.ndarray) -> np.ndarray:
+    """Visibilities of many fringes sharing one phase grid, in one solve.
+
+    ``counts_matrix`` has one fringe per row.  The design matrix depends
+    only on the shared phases, so all rows are fitted by a single
+    multi-right-hand-side least squares — this is what makes the
+    parametric bootstrap of the visibility error a vectorized operation
+    instead of ``n_resamples`` sequential :func:`fit_fringe` calls.
+    """
+    phases = np.asarray(phases, dtype=float)
+    counts_matrix = np.atleast_2d(np.asarray(counts_matrix, dtype=float))
+    if counts_matrix.shape[1] != phases.size or phases.ndim != 1:
+        raise ValueError("counts_matrix rows must match the phase grid")
+    if phases.size < 4:
+        raise FitError("need at least 4 points to fit a fringe")
+    design = np.column_stack(
+        [np.ones_like(phases), np.cos(phases), np.sin(phases)]
+    )
+    solutions, *_ = np.linalg.lstsq(design, counts_matrix.T, rcond=None)
+    offsets, a_cos, a_sin = solutions
+    if np.any(offsets <= 0):
+        raise FitError("fringe fit produced a non-positive offset")
+    return np.hypot(a_cos, a_sin) / offsets
+
+
+def fit_fringe_harmonics_many(
+    phases: np.ndarray, counts_matrix: np.ndarray, harmonics: int = 2
+) -> np.ndarray:
+    """Extrema-based visibilities of many harmonic fringes, in one solve.
+
+    The batched counterpart of :func:`fit_fringe_harmonics`: one
+    multi-right-hand-side least squares plus one matrix product against
+    the shared fine evaluation grid yields every row's fitted extrema.
+    """
+    phases = np.asarray(phases, dtype=float)
+    counts_matrix = np.atleast_2d(np.asarray(counts_matrix, dtype=float))
+    if counts_matrix.shape[1] != phases.size or phases.ndim != 1:
+        raise ValueError("counts_matrix rows must match the phase grid")
+    if harmonics < 1:
+        raise ValueError(f"harmonics must be >= 1, got {harmonics}")
+    if phases.size < 2 * harmonics + 2:
+        raise FitError(
+            f"need at least {2 * harmonics + 2} points for {harmonics} harmonics"
+        )
+    design = np.column_stack(_harmonic_columns(phases, harmonics))
+    solutions, *_ = np.linalg.lstsq(design, counts_matrix.T, rcond=None)
+    fine = np.linspace(0.0, 2.0 * math.pi, 2000)
+    models = np.column_stack(_harmonic_columns(fine, harmonics)) @ solutions
+    maxima = models.max(axis=0)
+    minima = np.maximum(models.min(axis=0), 0.0)
+    if np.any(maxima + minima <= 0):
+        raise FitError("a fitted fringe is non-positive everywhere")
+    return (maxima - minima) / (maxima + minima)
+
+
+def _harmonic_columns(phases: np.ndarray, harmonics: int) -> list[np.ndarray]:
+    """Design-matrix columns of a truncated Fourier series."""
+    columns = [np.ones_like(phases)]
+    for k in range(1, harmonics + 1):
+        columns.append(np.cos(k * phases))
+        columns.append(np.sin(k * phases))
+    return columns
+
+
 @dataclasses.dataclass(frozen=True)
 class HarmonicFringeFit:
     """Result of a multi-harmonic fringe fit with extrema-based visibility.
@@ -104,18 +168,10 @@ def fit_fringe_harmonics(
         raise FitError(
             f"need at least {2 * harmonics + 2} points for {harmonics} harmonics"
         )
-    columns = [np.ones_like(phases)]
-    for k in range(1, harmonics + 1):
-        columns.append(np.cos(k * phases))
-        columns.append(np.sin(k * phases))
-    design = np.column_stack(columns)
+    design = np.column_stack(_harmonic_columns(phases, harmonics))
     solution, *_ = np.linalg.lstsq(design, counts, rcond=None)
     fine = np.linspace(0.0, 2.0 * math.pi, 2000)
-    fine_columns = [np.ones_like(fine)]
-    for k in range(1, harmonics + 1):
-        fine_columns.append(np.cos(k * fine))
-        fine_columns.append(np.sin(k * fine))
-    model = np.column_stack(fine_columns) @ solution
+    model = np.column_stack(_harmonic_columns(fine, harmonics)) @ solution
     maximum = float(model.max())
     minimum = float(max(model.min(), 0.0))
     if maximum + minimum <= 0:

@@ -60,6 +60,7 @@ class TestTableStructure:
         assert all(c >= 0 for c in counts)
 
 
+@pytest.mark.slow
 class TestRunAll:
     def test_run_all_returns_every_id(self):
         results = run_all(seed=3, quick=True)

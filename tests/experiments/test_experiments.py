@@ -139,6 +139,7 @@ class TestE8FourPhoton:
         assert results("E8").metric("fringe_periods_in_scan") == 2.0
 
 
+@pytest.mark.slow
 class TestE9Tomography:
     def test_bell_fidelity_high(self, results):
         res = results("E9")

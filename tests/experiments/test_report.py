@@ -12,6 +12,7 @@ from repro.experiments.registry import run_experiment
 
 
 class TestSummarise:
+    @pytest.mark.slow
     def test_every_experiment_has_a_mapping(self):
         for key in (f"E{i}" for i in range(1, 10)):
             result = run_experiment(key, seed=0, quick=True)
@@ -29,6 +30,7 @@ class TestSummarise:
 
 
 class TestGenerateAndRender:
+    @pytest.mark.slow
     def test_full_report_all_shapes_ok(self):
         comparisons = generate_report(seed=0, quick=True)
         # Two claims for E2, E6, E7; one for the rest: 12 rows.

@@ -107,6 +107,7 @@ class TestFockVsClosedForm:
 
 
 class TestSchemeLevelConsistency:
+    @pytest.mark.slow
     def test_heralded_rates_consistent_with_calibration(self, rng):
         """Detected rates through the full chain match the calibrated
         generated-rate × efficiency² × window-capture prediction."""

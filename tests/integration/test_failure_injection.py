@@ -24,6 +24,7 @@ from repro.timebin.fringes import FringeScan
 from repro.timebin.stabilization import PhaseController
 
 
+@pytest.mark.slow
 class TestDetectorFailures:
     def test_dark_count_flood_kills_car(self, rng):
         """A detector flooded with darks (e.g. failed cooling) destroys

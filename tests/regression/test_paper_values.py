@@ -1,0 +1,136 @@
+"""Golden-value regression suite pinning the paper's reported numbers.
+
+Every test runs a driver with a *fixed seed* and asserts its headline
+metric inside an explicit statistical tolerance band around the value
+the paper reports (or, where the simulation models the raw uncorrected
+measurement, around the reproduction's calibrated expectation).  The
+bands are deliberately wide enough to absorb a different BLAS but tight
+enough that a physics or analysis-chain regression trips them.
+
+Paper claims covered (Reimer et al., Science 351, 1176 (2016)):
+
+- Section II:  CAR between 12.8 and 32.4 at 15 mW (type-0).
+- Section III: CAR ≈ 10 at 2 mW (type-II).
+- Section IV:  > 80 % Bell-fringe visibility, CHSH violated on every
+  scanned channel pair.
+- Section V:   89 % four-photon interference visibility at twice the
+  scan frequency; 64 % four-photon tomography fidelity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+#: One fixed seed for the whole suite: these are golden-value tests, so
+#: the draws must be replayable run to run and machine to machine.
+SEED = 1234
+
+pytestmark = pytest.mark.slow
+
+
+class TestType0CAR:
+    """Section II — CAR 12.8..32.4 and 14..29 Hz pair rates at 15 mW."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("E2", seed=SEED, quick=True)
+
+    def test_car_band_matches_paper(self, result):
+        # Paper band 12.8..32.4; Poisson scatter at quick statistics is
+        # a few units, so the pinned band is the paper's ± 20 %.
+        assert 10.0 < result.metrics["car_min"] < 20.0
+        assert 20.0 < result.metrics["car_max"] < 45.0
+
+    def test_pair_rates_band_matches_paper(self, result):
+        # Paper: 14..29 Hz per channel, simultaneously on all 5 pairs.
+        assert 10.0 < result.metrics["rate_min_hz"] < 20.0
+        assert 20.0 < result.metrics["rate_max_hz"] < 40.0
+        assert result.metrics["num_channels"] == 5.0
+
+    def test_all_channels_simultaneously_above_threshold(self, result):
+        cars = [row[2] for row in result.rows]
+        assert len(cars) == 5
+        assert all(car > 10.0 for car in cars)
+
+
+class TestTypeIICAR:
+    """Section III — CAR ≈ 10 at 2 mW between cross-polarized photons."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("E5", seed=SEED, quick=True)
+
+    def test_car_close_to_paper_value(self, result):
+        # CAR ≈ 10 ± 4 (quick statistics give ± ~3 of Poisson scatter).
+        assert abs(result.metrics["car"] - 10.0) < 4.0
+
+    def test_stimulated_fwm_suppressed(self, result):
+        # "successfully suppressed": tens of dB in the reproduction.
+        assert result.metrics["stimulated_suppression_db"] > 20.0
+
+
+class TestBellFringes:
+    """Section IV — >80 % visibility and CHSH violation on all pairs."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(
+            "E7", seed=SEED, quick=False, params={"dwell_s": 60.0}
+        )
+
+    def test_visibility_above_eighty_percent_on_every_channel(self, result):
+        assert result.metrics["num_channels"] == 5.0
+        assert result.metrics["visibility_min"] > 0.80
+        # Mean pinned near the paper's 83 % raw visibility.
+        assert abs(result.metrics["visibility_mean"] - 0.83) < 0.04
+
+    def test_chsh_violated_on_all_channels(self, result):
+        assert result.metrics["channels_violating"] == 5.0
+        assert result.metrics["s_min"] > 2.0
+
+
+class TestFourPhotonInterference:
+    """Section V — four-photon fringe at 2x frequency, ~89 % visibility."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Dwell override tightens Poisson statistics at no extra cost
+        # (the scan cost is independent of the integration time).
+        return run_experiment(
+            "E8", seed=SEED, quick=True, params={"dwell_s": 3000.0}
+        )
+
+    def test_visibility_close_to_paper_value(self, result):
+        assert abs(result.metrics["visibility"] - 0.89) < 0.08
+
+    def test_fringe_oscillates_at_twice_the_scan_phase(self, result):
+        # The smoking gun of genuine four-photon interference.
+        assert result.metrics["fringe_periods_in_scan"] == 2.0
+
+    def test_counts_scale_like_fourfold_fringe(self, result):
+        # (1 + cos 2φ)² has mean 3/8 of its peak over a full period; the
+        # measured scan must reproduce that four-photon scaling shape.
+        counts = np.array([row[1] for row in result.rows], dtype=float)
+        assert counts.min() < 0.15 * counts.max()
+        ratio = counts.mean() / counts.max()
+        assert abs(ratio - 0.375) < 0.08
+
+
+class TestTomographyFidelity:
+    """Section V — tomography: entangled Bell pair, 64 % four-photon."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("E9", seed=SEED, quick=True)
+
+    def test_four_photon_fidelity_close_to_paper(self, result):
+        assert abs(result.metrics["four_photon_fidelity"] - 0.64) < 0.08
+
+    def test_bell_state_confirmed_entangled(self, result):
+        # The paper "confirmed the generation of qubit entangled Bell
+        # states"; the raw (uncorrected) reconstruction stays above the
+        # 0.5 separability bound with a clear margin.
+        assert result.metrics["bell_fidelity"] > 0.85
+        assert result.metrics["bell_entangled"] == 1.0
+        assert result.metrics["bell_concurrence"] > 0.5

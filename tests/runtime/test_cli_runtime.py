@@ -139,6 +139,7 @@ class TestArchiveCommand:
         assert "error:" in capsys.readouterr().err
 
 
+@pytest.mark.slow
 class TestRunThroughEngine:
     def test_run_with_override(self, capsys):
         assert main(["run", "E6", "--quick", "--set", "pump_mw=18"]) == 0

@@ -116,6 +116,68 @@ class TestSweep:
         )
 
 
+class TestBatchPath:
+    """The batched-sweep fast path: equivalence, caching, atomicity."""
+
+    def test_batch_sweep_matches_pool_sweep(self, tmp_path):
+        scan = ListScan("dwell_s", [5.0, 10.0])
+        batched = RunEngine(root=tmp_path / "a").sweep(
+            "E7", scan, quick=True, batch=True
+        )
+        pooled = RunEngine(root=tmp_path / "b").sweep(
+            "E7", scan, quick=True, batch=False
+        )
+        assert [o.result.metrics for o in batched.outcomes] == [
+            o.result.metrics for o in pooled.outcomes
+        ]
+        assert batched.num_cached == 0
+
+    def test_batch_results_cached_per_point(self, engine):
+        scan = ListScan("dwell_s", [5.0, 10.0])
+        first = engine.sweep("E7", scan, quick=True, batch=True)
+        again = engine.sweep("E7", scan, quick=True, batch=True)
+        assert first.num_cached == 0
+        assert again.num_cached == 2
+        # A lone run of one point is served from the batch's entries.
+        single = engine.run("E7", quick=True, params={"dwell_s": 5.0})
+        assert single.cached
+
+    def test_fully_cached_sweep_never_imports_drivers(self, engine, monkeypatch):
+        scan = ListScan("dwell_s", [5.0])
+        engine.sweep("E7", scan, quick=True)
+        # The auto-mode strategy decision must not run for pure hits
+        # (it imports the registry and with it the numpy stack).
+        import repro.experiments.registry as registry
+
+        def boom(*args, **kwargs):
+            raise AssertionError("registry consulted on a fully cached sweep")
+
+        monkeypatch.setattr(registry, "supports_batch", boom)
+        cached = engine.sweep("E7", scan, quick=True)
+        assert cached.num_cached == 1
+
+    def test_failing_point_keeps_completed_points(self, engine):
+        # Point 2 of 3 is invalid: the batch raises, but point 1 must
+        # already be cached and archived (no work discarded).
+        scan = ListScan("dwell_s", [5.0, -1.0, 10.0])
+        with pytest.raises(ConfigurationError):
+            engine.sweep("E7", scan, quick=True, batch=True)
+        rerun = engine.sweep(
+            "E7", ListScan("dwell_s", [5.0]), quick=True, batch=True
+        )
+        assert rerun.num_cached == 1
+
+    def test_mixed_experiment_batch_rejected(self, engine):
+        specs = [RunSpec.make("E6"), RunSpec.make("E7")]
+        with pytest.raises(ConfigurationError):
+            engine.run_batch(specs)
+
+    def test_mixed_seed_batch_rejected(self, engine):
+        specs = [RunSpec.make("E6", seed=0), RunSpec.make("E6", seed=1)]
+        with pytest.raises(ConfigurationError):
+            engine.run_batch(specs)
+
+
 class TestParallel:
     def test_parallel_batch_matches_serial(self, tmp_path):
         specs = [
