@@ -1,0 +1,132 @@
+"""Scheduler throughput: jobs/sec through the experiment service.
+
+Two workloads, mirroring the paper's campaign mix:
+
+- **fully cached** — every submitted spec is already in the result
+  cache, so a job costs one claim + one cache read + two atomic job
+  writes.  This is the many-clients-replaying-sweeps regime and must
+  sustain **≥ 50 jobs/s** (the PR's acceptance bar).
+- **mixed** — half cache hits, half real ``quick`` computes, the
+  steady-state of a live campaign.
+
+Both go through the full persistent path (job files, journal, claim
+markers); only the HTTP layer is bypassed, since wire overhead is not
+what this benchmark gates.  Results append a trajectory entry to
+``BENCH_service.json`` in the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.runtime.engine import RunEngine
+from repro.service.scheduler import Scheduler
+from repro.service.store import JobStore
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+TRAJECTORY_FILE = REPO_ROOT / "BENCH_service.json"
+
+#: Distinct pump powers used as the spec universe.
+POWERS = [float(mw) for mw in range(2, 22)]
+
+#: Jobs per workload (several passes over the spec universe).
+CACHED_JOBS = 100
+MIXED_JOBS = 40
+
+
+def _drained_store(root, jobs, workers=4):
+    """Submit ``jobs`` specs, drain them, return elapsed seconds."""
+    store = JobStore(root)
+    engine = RunEngine(root=root)
+    scheduler = Scheduler(
+        store, engine, workers=workers, use_processes=False, poll_s=0.02
+    )
+    start = time.perf_counter()
+    for params in jobs:
+        store.submit("E6", quick=True, params=params, dedupe=False)
+    scheduler.start()
+    assert scheduler.drain(300.0), "queue failed to drain"
+    elapsed = time.perf_counter() - start
+    scheduler.stop(wait=True)
+    done = [job for job in store.jobs() if job.status == "done"]
+    assert len(done) == len(jobs), f"{len(done)}/{len(jobs)} jobs done"
+    return elapsed, sum(job.cached_points for job in done)
+
+
+def _record_trajectory(entries: dict[str, dict[str, float]]) -> None:
+    """Append one timestamped throughput entry to BENCH_service.json."""
+    trajectory: list[dict[str, object]] = []
+    if TRAJECTORY_FILE.exists():
+        try:
+            previous = json.loads(TRAJECTORY_FILE.read_text(encoding="utf-8"))
+            if isinstance(previous, list):
+                trajectory = previous
+        except ValueError:
+            trajectory = []
+    trajectory.append({"recorded_unix": time.time(), "workloads": entries})
+    TRAJECTORY_FILE.write_text(
+        json.dumps(trajectory, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def bench_service_throughput(benchmark, tmp_path):
+    """Time the cached and mixed queues; assert the ≥50 jobs/s bar."""
+    entries: dict[str, dict[str, float]] = {}
+
+    # --- fully cached: warm every spec first --------------------------
+    cached_root = tmp_path / "cached"
+    warm_engine = RunEngine(root=cached_root)
+    for mw in POWERS:
+        warm_engine.run("E6", quick=True, params={"pump_mw": mw})
+    cached_specs = [
+        {"pump_mw": POWERS[i % len(POWERS)]} for i in range(CACHED_JOBS)
+    ]
+
+    def cached_workload():
+        elapsed, hits = _drained_store(cached_root, cached_specs)
+        return elapsed, hits
+
+    (elapsed, hits) = benchmark.pedantic(
+        cached_workload, rounds=1, iterations=1
+    )
+    cached_rate = CACHED_JOBS / elapsed
+    entries["fully_cached"] = {
+        "jobs": CACHED_JOBS,
+        "seconds": round(elapsed, 4),
+        "jobs_per_s": round(cached_rate, 1),
+        "cache_hits": hits,
+    }
+
+    # --- mixed: half the spec universe is cold ------------------------
+    mixed_root = tmp_path / "mixed"
+    mixed_engine = RunEngine(root=mixed_root)
+    for mw in POWERS[::2]:
+        mixed_engine.run("E6", quick=True, params={"pump_mw": mw})
+    mixed_specs = [
+        {"pump_mw": POWERS[i % len(POWERS)]} for i in range(MIXED_JOBS)
+    ]
+    mixed_elapsed, mixed_hits = _drained_store(mixed_root, mixed_specs)
+    entries["mixed"] = {
+        "jobs": MIXED_JOBS,
+        "seconds": round(mixed_elapsed, 4),
+        "jobs_per_s": round(MIXED_JOBS / mixed_elapsed, 1),
+        "cache_hits": mixed_hits,
+    }
+
+    print()
+    for name, entry in entries.items():
+        print(
+            f"{name:14s} {entry['jobs']:4d} jobs in "
+            f"{entry['seconds']:7.3f}s = {entry['jobs_per_s']:7.1f} jobs/s "
+            f"({entry['cache_hits']} cache hits)"
+        )
+    _record_trajectory(entries)
+    print(f"trajectory entry appended to {TRAJECTORY_FILE.name}")
+
+    assert cached_rate >= 50.0, (
+        f"fully cached throughput only {cached_rate:.1f} jobs/s (need 50)"
+    )
+    assert entries["mixed"]["jobs_per_s"] > 0.0

@@ -9,14 +9,28 @@ Subcommands::
     python -m repro report --quick        # paper-vs-measured summary
     python -m repro sweep E6 --scan pump_mw=2:20:10 --parallel 4
     python -m repro archive [RUN_ID]      # list / inspect stored runs
+    python -m repro archive --prune 50    # keep only the newest 50 runs
+    python -m repro cache stats|clear     # result-cache garbage collection
+
+Experiment-service subcommands (the always-on daemon)::
+
+    python -m repro serve --workers 4     # boot the scheduler + JSON-RPC API
+    python -m repro submit E5 --quick --set pump_mw=2 --priority 5 --wait
+    python -m repro submit E6 --quick --scan pump_mw=2:20:10
+    python -m repro status [JOB_ID]       # queue table / one job (+traceback)
+    python -m repro watch [JOB_ID]        # stream the live event feed
+    python -m repro cancel JOB_ID
 
 ``run``, ``report`` and ``sweep`` dispatch through the
 :class:`repro.runtime.engine.RunEngine`: every run is archived as a run
 directory (``--archive-dir``, default ``./repro-runs`` or
 ``$REPRO_RUNTIME_ROOT``) and memoised in a content-addressed result
 cache, so repeating an invocation is served from disk near-instantly
-(disable with ``--no-cache``).  Heavy imports happen inside the command
-handlers — a fully cached invocation never imports numpy.
+(disable with ``--no-cache``).  ``serve`` layers the persistent job
+queue of :mod:`repro.service` over the same engine root; the client
+subcommands discover a running daemon from that root alone.  Heavy
+imports happen inside the command handlers — a fully cached invocation
+never imports numpy.
 """
 
 from __future__ import annotations
@@ -123,7 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_options(sweep_parser)
 
     archive_parser = subparsers.add_parser(
-        "archive", help="list or inspect archived run directories"
+        "archive", help="list, inspect or prune archived run directories"
     )
     archive_parser.add_argument(
         "run_id",
@@ -131,11 +145,160 @@ def build_parser() -> argparse.ArgumentParser:
         help="run id to inspect (omit to list all archived runs)",
     )
     archive_parser.add_argument(
+        "--prune",
+        type=int,
+        default=None,
+        metavar="N",
+        help="delete all but the newest N run directories",
+    )
+    archive_parser.add_argument(
         "--archive-dir",
         default=None,
         help="engine root directory (default $REPRO_RUNTIME_ROOT or ./repro-runs)",
     )
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear the content-addressed result cache"
+    )
+    cache_parser.add_argument(
+        "action", choices=["stats", "clear"], help="what to do with the cache"
+    )
+    cache_parser.add_argument(
+        "--archive-dir",
+        default=None,
+        help="engine root directory (default $REPRO_RUNTIME_ROOT or ./repro-runs)",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the experiment service (scheduler + JSON-RPC API)"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default localhost)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port (default 0: ephemeral, published to the queue dir)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="scheduler worker threads / pool processes (default 2)",
+    )
+    serve_parser.add_argument(
+        "--in-process",
+        action="store_true",
+        help="compute cache misses on worker threads instead of a process pool",
+    )
+    serve_parser.add_argument(
+        "--archive-dir",
+        default=None,
+        help="engine root directory (default $REPRO_RUNTIME_ROOT or ./repro-runs)",
+    )
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="enqueue an experiment run or sweep on the service"
+    )
+    submit_parser.add_argument("experiment", help="experiment id (E1..E9)")
+    submit_parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    submit_parser.add_argument(
+        "--quick", action="store_true", help="reduced statistics"
+    )
+    submit_parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="driver parameter override (repeatable); see 'repro list'",
+    )
+    submit_parser.add_argument(
+        "--scan",
+        dest="scans",
+        action="append",
+        default=[],
+        metavar="NAME=LO:HI:N",
+        help="scan spec; submits a sweep job (repeat for a grid)",
+    )
+    submit_parser.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="claim priority (higher runs first; default 0)",
+    )
+    submit_parser.add_argument(
+        "--pipeline", default="main", help="pipeline label (default 'main')"
+    )
+    submit_parser.add_argument(
+        "--no-dedupe",
+        action="store_true",
+        help="enqueue even if the cache or a live job already covers the spec",
+    )
+    submit_parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job finishes and print its result",
+    )
+    submit_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="--wait timeout in seconds (default 600)",
+    )
+    _add_service_options(submit_parser)
+
+    status_parser = subparsers.add_parser(
+        "status", help="show the service queue, or one job in detail"
+    )
+    status_parser.add_argument(
+        "job_id",
+        nargs="?",
+        type=int,
+        help="job id to inspect (omit for the queue table)",
+    )
+    _add_service_options(status_parser)
+
+    watch_parser = subparsers.add_parser(
+        "watch", help="stream the service's live job event feed"
+    )
+    watch_parser.add_argument(
+        "job_id",
+        nargs="?",
+        type=int,
+        help="stop once this job reaches a terminal state",
+    )
+    watch_parser.add_argument(
+        "--since",
+        type=int,
+        default=0,
+        help="replay buffered events after this sequence number first",
+    )
+    _add_service_options(watch_parser)
+
+    cancel_parser = subparsers.add_parser(
+        "cancel", help="cancel a queued (or, cooperatively, running) job"
+    )
+    cancel_parser.add_argument("job_id", type=int, help="job id to cancel")
+    _add_service_options(cancel_parser)
     return parser
+
+
+def _add_service_options(parser: argparse.ArgumentParser) -> None:
+    """Attach the service-client flags shared by submit/status/watch/cancel."""
+    parser.add_argument(
+        "--url",
+        default=None,
+        help="service URL (default: discover from the engine root)",
+    )
+    parser.add_argument(
+        "--archive-dir",
+        default=None,
+        help="engine root to discover the service from "
+        "(default $REPRO_RUNTIME_ROOT or ./repro-runs)",
+    )
 
 
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
@@ -303,11 +466,22 @@ def command_sweep(args: argparse.Namespace) -> int:
 
 
 def command_archive(args: argparse.Namespace) -> int:
-    """List archived runs, or print one run's manifest and result."""
+    """List, prune, or inspect archived run directories."""
     from repro.runtime.engine import RunEngine
     from repro.utils.tables import format_table
 
     engine = RunEngine(root=args.archive_dir)
+    if args.prune is not None:
+        if args.run_id is not None:
+            raise ConfigurationError(
+                "--prune keeps the newest N runs; drop the run id"
+            )
+        removed = engine.prune_runs(args.prune)
+        print(
+            f"pruned {len(removed)} run(s), kept newest {args.prune} "
+            f"under {engine.runs_dir}"
+        )
+        return 0
     if args.run_id is None:
         manifests = engine.list_runs()
         if not manifests:
@@ -333,18 +507,258 @@ def command_archive(args: argparse.Namespace) -> int:
             )
         )
         return 0
-    manifest, result = engine.load_run(args.run_id)
+    manifest = engine.load_manifest(args.run_id)
     if "created_unix" in manifest:
         import datetime
 
         manifest["created"] = datetime.datetime.fromtimestamp(
             manifest.pop("created_unix")
         ).isoformat(timespec="seconds")
+    error = manifest.pop("error", None)
     rows = [[key, manifest[key]] for key in sorted(manifest)]
     print(format_table(["field", "value"], rows, title=args.run_id))
     print()
+    if manifest.get("status") == "failed":
+        # Failure manifests archive the worker's formatted traceback in
+        # place of a result record — show it instead of erroring out.
+        error = error or {}
+        print(f"run failed: {error.get('type', '?')}: {error.get('message', '?')}")
+        if error.get("traceback"):
+            print()
+            print(error["traceback"].rstrip())
+        return 1
+    _, result = engine.load_run(args.run_id)
     print(result.to_text())
     return 0
+
+
+def command_cache(args: argparse.Namespace) -> int:
+    """Print result-cache statistics, or clear every entry."""
+    from repro.runtime.engine import RunEngine
+    from repro.utils.tables import format_table
+
+    engine = RunEngine(root=args.archive_dir)
+    cache = engine.cache  # always present: the engine defaults to use_cache
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cache entr{'y' if removed == 1 else 'ies'}")
+        return 0
+    stats = cache.stats()
+    rows = [[key, stats[key]] for key in sorted(stats)]
+    print(format_table(["field", "value"], rows, title="Result cache"))
+    return 0
+
+
+def _service_client(args: argparse.Namespace):
+    """A ServiceClient from --url, or discovered from the engine root."""
+    from repro.service.client import ServiceClient
+
+    if args.url:
+        return ServiceClient(args.url)
+    return ServiceClient.discover(args.archive_dir)
+
+
+def command_serve(args: argparse.Namespace) -> int:
+    """Boot the experiment service and block until interrupted."""
+    from repro.service.api import ExperimentService
+
+    service = ExperimentService(
+        root=args.archive_dir,
+        host=args.host,
+        port=args.port,
+        workers=max(1, args.workers),
+        use_processes=not args.in_process,
+        on_event=lambda message: print(message, file=sys.stderr),
+    )
+    host, port = service.start()
+    print(
+        f"experiment service on http://{host}:{port} "
+        f"(root {service.root}, {service.scheduler.workers} workers); "
+        "Ctrl-C to stop",
+        file=sys.stderr,
+    )
+    service.serve_forever()
+    # Hard exit after the clean stop: a forked process-pool worker can
+    # (rarely) survive executor shutdown and wedge interpreter-exit
+    # atexit joins.  Queue state is already persisted — crash-safety is
+    # the store's contract — so the daemon must terminate regardless.
+    sys.stdout.flush()
+    sys.stderr.flush()
+    import os
+
+    os._exit(0)
+
+
+def command_submit(args: argparse.Namespace) -> int:
+    """Enqueue one run (or sweep) on the service; optionally wait."""
+    scan = None
+    if args.scans:
+        from repro.runtime.scan import GridScan, parse_scan
+
+        scans = [parse_scan(spec) for spec in args.scans]
+        scan = (scans[0] if len(scans) == 1 else GridScan(*scans)).describe()
+    client = _service_client(args)
+    job = client.submit(
+        args.experiment,
+        seed=args.seed,
+        quick=args.quick,
+        params=_parse_overrides(args.overrides),
+        scan=scan,
+        priority=args.priority,
+        pipeline=args.pipeline,
+        dedupe=not args.no_dedupe,
+    )
+    tag = " (deduplicated)" if job.get("deduped") else ""
+    print(
+        f"job {job['job_id']} {job['kind']} {job['experiment_id']} "
+        f"→ {job['status']}{tag}"
+    )
+    if not args.wait:
+        return 0
+    finished = client.wait(job["job_id"], timeout=args.timeout)
+    print(_render_job(finished))
+    return 0 if finished.get("status") == "done" else 1
+
+
+def command_status(args: argparse.Namespace) -> int:
+    """Print the service queue table, or one job in full detail."""
+    client = _service_client(args)
+    if args.job_id is None:
+        jobs = client.status()
+        if not jobs:
+            print("queue is empty")
+            return 0
+        from repro.utils.tables import format_table
+
+        rows = [
+            [
+                job["job_id"],
+                job["kind"],
+                job["experiment_id"],
+                job.get("pipeline", "main"),
+                job.get("priority", 0),
+                job["status"],
+                f"{job.get('done_points', 0)}/{job.get('total_points', 1)}",
+                job.get("cached_points", 0),
+            ]
+            for job in jobs
+        ]
+        print(
+            format_table(
+                [
+                    "job",
+                    "kind",
+                    "experiment",
+                    "pipeline",
+                    "prio",
+                    "status",
+                    "points",
+                    "cached",
+                ],
+                rows,
+                title="Service queue",
+            )
+        )
+        return 0
+    job = client.status(args.job_id)
+    print(_render_job(job))
+    return 0 if job.get("status") != "failed" else 1
+
+
+def command_watch(args: argparse.Namespace) -> int:
+    """Stream the live event feed (until a given job finishes)."""
+    client = _service_client(args)
+    terminal = ("done", "failed", "cancelled")
+    if args.job_id is not None:
+        job = client.status(args.job_id)
+        print(_event_line({
+            "seq": "-", "event": "now", "job_id": job["job_id"],
+            "status": job["status"], "done_points": job.get("done_points", 0),
+            "total_points": job.get("total_points", 1),
+        }))
+        if job["status"] in terminal:
+            return 0
+    since = args.since
+    try:
+        while True:
+            events, since = client.events(since, timeout=30.0)
+            for event in events:
+                print(_event_line(event))
+                if (
+                    args.job_id is not None
+                    and event.get("job_id") == args.job_id
+                    and event.get("status") in terminal
+                ):
+                    return 0
+    except KeyboardInterrupt:
+        return 0
+
+
+def command_cancel(args: argparse.Namespace) -> int:
+    """Cancel one service job."""
+    client = _service_client(args)
+    job = client.cancel(args.job_id)
+    if job["status"] == "cancelled":
+        print(f"job {job['job_id']} cancelled")
+    else:
+        checkpoint = (
+            "the next point boundary"
+            if job.get("kind") == "sweep"
+            else "completion of the in-flight run"
+        )
+        print(
+            f"job {job['job_id']} is {job['status']}; cancellation "
+            f"requested (takes effect at {checkpoint})"
+        )
+    return 0
+
+
+def _render_job(job: dict) -> str:
+    """Multi-line detail view of one job document (used by status/submit)."""
+    lines = [
+        f"job {job['job_id']}: {job['kind']} {job['experiment_id']} "
+        f"seed={job.get('seed', 0)}"
+        + (" quick" if job.get("quick") else "")
+        + f" → {job['status']}"
+    ]
+    if job.get("params"):
+        lines.append(
+            "  params: "
+            + " ".join(f"{k}={v}" for k, v in sorted(job["params"].items()))
+        )
+    lines.append(
+        f"  points: {job.get('done_points', 0)}/{job.get('total_points', 1)}"
+        f" ({job.get('cached_points', 0)} cached)"
+        f"  priority: {job.get('priority', 0)}"
+        f"  pipeline: {job.get('pipeline', 'main')}"
+        f"  attempt: {job.get('attempt', 1)}"
+    )
+    if job.get("run_ids"):
+        lines.append(f"  runs: {' '.join(job['run_ids'])}")
+    if job.get("metrics"):
+        metrics = " ".join(
+            f"{k}={_round(v)}" for k, v in sorted(job["metrics"].items())
+        )
+        lines.append(f"  metrics: {metrics}")
+    error = job.get("error")
+    if error:
+        lines.append(f"  error: {error.get('type', '?')}: {error.get('message', '?')}")
+        if error.get("traceback"):
+            lines.append("")
+            lines.append(error["traceback"].rstrip())
+    return "\n".join(lines)
+
+
+def _event_line(event: dict) -> str:
+    """One journal event as a compact log line (used by watch)."""
+    progress = ""
+    total = event.get("total_points", 1)
+    if total and total > 1:
+        progress = f" [{event.get('done_points', 0)}/{total}]"
+    return (
+        f"{event.get('seq', '?'):>6}  job {event.get('job_id', '?')}  "
+        f"{event.get('event', '?'):<16} {event.get('status', '')}{progress}"
+    )
 
 
 def _render_sweep(outcome) -> str:
@@ -389,6 +803,12 @@ _COMMANDS = {
     "run": command_run,
     "sweep": command_sweep,
     "archive": command_archive,
+    "cache": command_cache,
+    "serve": command_serve,
+    "submit": command_submit,
+    "status": command_status,
+    "watch": command_watch,
+    "cancel": command_cancel,
 }
 
 

@@ -37,5 +37,23 @@ class TomographyError(ReproError, RuntimeError):
     """State reconstruction failed (insufficient data, non-convergence)."""
 
 
+class WorkerError(ReproError, RuntimeError):
+    """An experiment failed inside a pool worker process.
+
+    Raised in the parent after the failure manifest is archived; the
+    worker's formatted traceback travels in :attr:`worker_traceback`
+    (and in the message) because the original frames cannot cross the
+    process boundary.
+    """
+
+    def __init__(self, message: str, worker_traceback: str = "") -> None:
+        super().__init__(message)
+        self.worker_traceback = worker_traceback
+
+
+class ServiceError(ReproError, RuntimeError):
+    """An experiment-service RPC failed (server-side error or bad reply)."""
+
+
 class FitError(ReproError, RuntimeError):
     """A curve fit failed to converge or produced unphysical parameters."""

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import pathlib
 from collections.abc import Mapping
 
@@ -102,18 +101,17 @@ class ResultCache:
         duration_s: float | None = None,
     ) -> pathlib.Path:
         """Store a result under a fingerprint (atomic rename)."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(key)
+        from repro.utils.io import atomic_write_text
+
         entry = {
             "schema": CACHE_SCHEMA,
             "fingerprint": key,
             "duration_s": duration_s,
             "record": records.to_record(result),
         }
-        tmp = path.with_suffix(f".tmp-{os.getpid()}")
-        tmp.write_text(json.dumps(entry, sort_keys=True), encoding="utf-8")
-        tmp.replace(path)
-        return path
+        return atomic_write_text(
+            self.path_for(key), json.dumps(entry, sort_keys=True)
+        )
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
@@ -123,6 +121,26 @@ class ResultCache:
                 path.unlink()
                 removed += 1
         return removed
+
+    def stats(self) -> dict[str, object]:
+        """Entry count, on-disk bytes, schema and this session's hit rate."""
+        entries = 0
+        size = 0
+        if self.root.exists():
+            for path in self.root.glob("*.json"):
+                entries += 1
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    continue
+        return {
+            "root": str(self.root),
+            "schema": CACHE_SCHEMA,
+            "entries": entries,
+            "bytes": size,
+            "session_hits": self.hits,
+            "session_misses": self.misses,
+        }
 
     def __len__(self) -> int:
         """Number of stored entries."""

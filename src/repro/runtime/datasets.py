@@ -83,13 +83,21 @@ class DatasetStore:
                 arrays[key] = value
             else:
                 plain[key] = jsonify(value)
-        (directory / DATASETS_FILE).write_text(
-            json.dumps(plain, indent=2, sort_keys=True), encoding="utf-8"
+        from repro.utils.io import atomic_write_bytes, atomic_write_text
+
+        atomic_write_text(
+            directory / DATASETS_FILE,
+            json.dumps(plain, indent=2, sort_keys=True),
         )
         if arrays:
+            import io
             import numpy as np
 
-            np.savez_compressed(directory / ARRAYS_FILE, **arrays)
+            # Buffer-then-replace keeps concurrent archivers of the
+            # same run directory from exposing a torn npz to readers.
+            buffer = io.BytesIO()
+            np.savez_compressed(buffer, **arrays)
+            atomic_write_bytes(directory / ARRAYS_FILE, buffer.getvalue())
         return directory
 
     @classmethod

@@ -27,10 +27,12 @@ import dataclasses
 import json
 import os
 import pathlib
+import shutil
 import time
+import traceback
 from collections.abc import Callable, Mapping
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, WorkerError
 from repro.experiments.base import ExperimentResult
 from repro.runtime import records
 from repro.runtime.cache import ResultCache, fingerprint
@@ -154,6 +156,41 @@ def _execute(spec: RunSpec) -> tuple[dict[str, object], float]:
     return records.to_record(result), time.perf_counter() - start
 
 
+def _execute_safe(
+    spec: RunSpec,
+) -> tuple[dict[str, object] | None, dict[str, str] | None, float]:
+    """Pool-worker wrapper of :func:`_execute` capturing failures.
+
+    Returns ``(record, None, duration)`` on success and
+    ``(None, failure, duration)`` on any exception, where ``failure``
+    carries the exception type, message and *formatted traceback* —
+    the frames themselves cannot cross the process boundary, so the
+    text is formatted on the worker side where it still exists.
+    """
+    start = time.perf_counter()
+    try:
+        record, duration = _execute(spec)
+    except Exception as error:  # noqa: BLE001 - transported to the parent
+        failure = {
+            "type": type(error).__name__,
+            "message": str(error),
+            "traceback": traceback.format_exc(),
+        }
+        return None, failure, time.perf_counter() - start
+    return record, None, duration
+
+
+def _failure_from(error: BaseException) -> dict[str, str]:
+    """The archivable type/message/traceback triple of a live exception."""
+    return {
+        "type": type(error).__name__,
+        "message": str(error),
+        "traceback": "".join(
+            traceback.format_exception(type(error), error, error.__traceback__)
+        ),
+    }
+
+
 class RunEngine:
     """Schedules experiment runs with caching, archiving and parallelism.
 
@@ -236,20 +273,29 @@ class RunEngine:
             workers = min(self.max_workers, len(pending))
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
-                    pool.submit(_execute, specs[index]): index
+                    pool.submit(_execute_safe, specs[index]): index
                     for index in pending
                 }
                 for future in as_completed(futures):
                     index = futures[future]
-                    record, duration = future.result()
+                    record, failure, duration = future.result()
+                    if failure is not None:
+                        # The worker's frames are gone; its formatted
+                        # traceback is archived and re-raised verbatim.
+                        self.record_failure(specs[index], failure, duration)
+                        raise WorkerError(
+                            f"{specs[index].label()} failed in a pool "
+                            f"worker: {failure['type']}: "
+                            f"{failure['message']}\n{failure['traceback']}",
+                            worker_traceback=failure["traceback"],
+                        )
                     outcome = self._complete(specs[index], record, duration)
                     outcomes[index] = outcome
                     done += 1
                     self._report(done, len(specs), outcome)
         else:
             for index in pending:
-                record, duration = _execute(specs[index])
-                outcome = self._complete(specs[index], record, duration)
+                outcome = self.compute(specs[index])
                 outcomes[index] = outcome
                 done += 1
                 self._report(done, len(specs), outcome)
@@ -354,17 +400,62 @@ class RunEngine:
             seed=first.seed,
             quick=first.quick,
         )
+        results_iter = iter(results)
         pending_iter = iter(pending)
         last = time.perf_counter()
-        for result in results:
-            index = next(pending_iter)
+        for index in pending_iter:
+            spec = specs[index]
+            try:
+                result = next(results_iter)
+            except StopIteration:
+                break  # registry contract: it polices the count itself
+            except Exception as error:  # noqa: BLE001 - re-raised unchanged
+                # The driver failed computing *this* point; archive its
+                # traceback before the original exception (type intact)
+                # continues to the caller.
+                self.record_failure(
+                    spec, _failure_from(error), time.perf_counter() - last
+                )
+                raise
             now = time.perf_counter()
-            record = records.to_record(result)
-            outcome = self._complete(specs[index], record, now - last)
+            try:
+                record = records.to_record(result)
+                outcome = self._complete(spec, record, now - last)
+            except Exception as error:  # noqa: BLE001 - re-raised unchanged
+                # Persisting this completed point failed (disk error,
+                # broken progress pipe, ...) — still this point's fault
+                # line in the archive, not the next one's.
+                self.record_failure(spec, _failure_from(error), now - last)
+                raise
             outcomes[index] = outcome
             done += 1
             self._report(done, len(specs), outcome)
             last = time.perf_counter()
+
+    def compute(self, spec: RunSpec) -> RunOutcome:
+        """Execute one spec in-process (no cache consult) and persist it.
+
+        The building block the serial path and the service scheduler's
+        thread workers share: on failure the formatted traceback is
+        archived as a failure manifest before the original exception —
+        type intact — continues to the caller.
+        """
+        try:
+            record, duration = _execute(spec)
+        except Exception as error:  # noqa: BLE001 - re-raised unchanged
+            self.record_failure(spec, _failure_from(error))
+            raise
+        return self._complete(spec, record, duration)
+
+    def complete_record(
+        self, spec: RunSpec, record: dict[str, object], duration_s: float
+    ) -> RunOutcome:
+        """Archive + cache a record computed elsewhere (e.g. a pool worker).
+
+        Keeps all persistence in the calling process — the run-engine
+        invariant that workers only compute (see DESIGN.md).
+        """
+        return self._complete(spec, record, duration_s)
 
     def run_all(self, seed: int = 0, quick: bool = True) -> dict[str, RunOutcome]:
         """Run every registered experiment; returns id → outcome."""
@@ -391,26 +482,59 @@ class RunEngine:
         manifests.sort(key=lambda m: m.get("created_unix", 0.0), reverse=True)
         return manifests
 
-    def load_run(
-        self, run_id: str
-    ) -> tuple[dict[str, object], ExperimentResult]:
-        """(manifest, result) for one archived run id."""
-        run_dir = self.runs_dir / run_id
-        manifest_path = run_dir / MANIFEST_FILE
+    def load_manifest(self, run_id: str) -> dict[str, object]:
+        """The manifest of one archived run id (success or failure)."""
+        manifest_path = self.runs_dir / run_id / MANIFEST_FILE
         if not manifest_path.exists():
             known = sorted(m.get("run_id", "?") for m in self.list_runs())
             raise ConfigurationError(
                 f"no archived run {run_id!r}; available: {known}"
             )
         try:
-            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-            result = records.load(run_dir / RESULT_FILE)
+            return json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            raise ConfigurationError(
+                f"archived run {run_id!r} has an unreadable manifest: {error}"
+            ) from error
+
+    def load_run(
+        self, run_id: str
+    ) -> tuple[dict[str, object], ExperimentResult]:
+        """(manifest, result) for one archived run id."""
+        manifest = self.load_manifest(run_id)
+        if manifest.get("status") == "failed":
+            error = manifest.get("error", {})
+            raise ConfigurationError(
+                f"archived run {run_id!r} failed "
+                f"({error.get('type', '?')}: {error.get('message', '?')}); "
+                "inspect it with 'repro archive' or requeue it"
+            )
+        try:
+            result = records.load(self.runs_dir / run_id / RESULT_FILE)
         except (OSError, ValueError, KeyError, TypeError) as error:
             raise ConfigurationError(
                 f"archived run {run_id!r} is unreadable "
                 f"(corrupt or written by an incompatible version): {error}"
             ) from error
         return manifest, result
+
+    def prune_runs(self, keep: int) -> list[str]:
+        """Delete all but the newest ``keep`` run directories.
+
+        Returns the removed run ids, oldest first.  The result cache is
+        untouched — pruning reclaims archive disk without forgetting
+        results (``repro cache clear`` handles the cache side).
+        """
+        if keep < 0:
+            raise ConfigurationError(f"--prune needs N >= 0, got {keep}")
+        removed = []
+        for manifest in self.list_runs()[keep:][::-1]:
+            run_id = str(manifest.get("run_id", ""))
+            if not run_id:
+                continue
+            shutil.rmtree(self.runs_dir / run_id, ignore_errors=True)
+            removed.append(run_id)
+        return removed
 
     # ------------------------------------------------------------------
     # Internals
@@ -427,7 +551,7 @@ class RunEngine:
         pending: list[int] = []
         done = 0
         for index, spec in enumerate(specs):
-            hit = self._lookup(spec)
+            hit = self.lookup(spec)
             if hit is not None:
                 outcomes[index] = hit
                 done += 1
@@ -436,8 +560,12 @@ class RunEngine:
                 pending.append(index)
         return outcomes, pending, done
 
-    def _lookup(self, spec: RunSpec) -> RunOutcome | None:
-        """A cache-served outcome for ``spec``, or None on a miss."""
+    def lookup(self, spec: RunSpec) -> RunOutcome | None:
+        """A cache-served outcome for ``spec``, or None on a miss.
+
+        Public because the service scheduler routes jobs by it: hits
+        are served on cheap worker threads, misses go to processes.
+        """
         if self.cache is None:
             return None
         start = time.perf_counter()
@@ -477,6 +605,34 @@ class RunEngine:
             run_dir=run_dir,
         )
 
+    def record_failure(
+        self,
+        spec: RunSpec,
+        failure: Mapping[str, str],
+        duration_s: float = 0.0,
+    ) -> pathlib.Path | None:
+        """Archive a failure manifest (status, formatted traceback).
+
+        ``failure`` holds ``type``/``message``/``traceback`` strings —
+        see :func:`_execute_safe`.  The run directory gets a manifest
+        but no result record, so ``list_runs`` surfaces the failure and
+        ``repro status``/``repro archive`` can show the traceback
+        instead of silently dropping it.  No cache entry is written:
+        the spec recomputes on its next submission.
+        """
+        if not self.archive:
+            return None
+        run_dir = self.runs_dir / spec.run_id()
+        self._write_manifest(
+            run_dir,
+            spec,
+            duration_s=duration_s,
+            cached=False,
+            status="failed",
+            error=dict(failure),
+        )
+        return run_dir
+
     def _archive(
         self,
         spec: RunSpec,
@@ -491,7 +647,24 @@ class RunEngine:
         run_dir.mkdir(parents=True, exist_ok=True)
         records.save(result, run_dir / RESULT_FILE)
         store_from_result(result).save(run_dir)
-        manifest = {
+        self._write_manifest(
+            run_dir, spec, duration_s=duration_s, cached=cached, status="ok"
+        )
+        return run_dir
+
+    def _write_manifest(
+        self,
+        run_dir: pathlib.Path,
+        spec: RunSpec,
+        duration_s: float,
+        cached: bool,
+        status: str,
+        error: dict[str, str] | None = None,
+    ) -> None:
+        """Atomically write a run manifest (success or failure shape)."""
+        from repro.utils.io import atomic_write_text
+
+        manifest: dict[str, object] = {
             "run_id": spec.run_id(),
             "fingerprint": spec.fingerprint(),
             "experiment_id": spec.experiment_id,
@@ -500,12 +673,15 @@ class RunEngine:
             "params": {k: jsonify(v) for k, v in spec.params},
             "duration_s": duration_s,
             "from_cache": cached,
+            "status": status,
             "created_unix": time.time(),
         }
-        (run_dir / MANIFEST_FILE).write_text(
-            json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"
+        if error is not None:
+            manifest["error"] = error
+        atomic_write_text(
+            run_dir / MANIFEST_FILE,
+            json.dumps(manifest, indent=2, sort_keys=True),
         )
-        return run_dir
 
     def _report(self, done: int, total: int, outcome: RunOutcome) -> None:
         """Emit one progress line through the configured callback."""

@@ -74,11 +74,15 @@ def loads(text: str) -> ExperimentResult:
 
 
 def save(result: ExperimentResult, path: str | pathlib.Path) -> pathlib.Path:
-    """Write a result to ``path`` as JSON; returns the path."""
-    path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(dumps(result, indent=2), encoding="utf-8")
-    return path
+    """Write a result to ``path`` as JSON (atomic); returns the path.
+
+    Atomicity matters because two engines sharing one runtime root may
+    archive the same run id concurrently — see
+    :func:`repro.utils.io.atomic_write_text`.
+    """
+    from repro.utils.io import atomic_write_text
+
+    return atomic_write_text(path, dumps(result, indent=2))
 
 
 def load(path: str | pathlib.Path) -> ExperimentResult:

@@ -1,0 +1,447 @@
+"""Localhost JSON-RPC-over-HTTP API of the experiment service.
+
+:class:`ExperimentService` bundles the persistent
+:class:`~repro.service.store.JobStore`, a
+:class:`~repro.service.scheduler.Scheduler` and a stdlib
+``ThreadingHTTPServer`` into the always-on daemon behind
+``repro serve``.  The wire protocol is JSON-RPC 2.0 over ``POST /rpc``
+(plus ``GET /healthz`` for probes)::
+
+    → {"jsonrpc": "2.0", "id": 1, "method": "submit",
+       "params": {"experiment": "E5", "quick": true,
+                  "params": {"pump_mw": 2.0}, "priority": 5}}
+    ← {"jsonrpc": "2.0", "id": 1,
+       "result": {"job": {...}, "deduped": false}}
+
+Methods: ``submit``, ``status``, ``result`` (long-poll until terminal),
+``cancel``, ``requeue``, ``queue`` (snapshot), ``events`` (long-poll
+subscription feed), ``health`` and ``shutdown``.  Long-polls block only
+their own request thread — ``ThreadingHTTPServer`` gives each request
+its own.
+
+On boot the server publishes its address to
+``<root>/queue/service.json`` so clients (and the CLI subcommands)
+discover a running daemon from the engine root alone; the file is
+removed on clean shutdown.  Binding ``port=0`` picks an ephemeral port
+— the CI smoke job boots exactly that way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import ConfigurationError, ReproError, ServiceError
+from repro.runtime.engine import RunEngine, default_root
+from repro.service.scheduler import Scheduler
+from repro.service.store import JobStore
+from repro.utils.io import atomic_write_text
+
+#: The service-discovery file inside the queue directory.
+SERVICE_FILE = "service.json"
+
+#: JSON-RPC error codes (the subset this server emits).
+RPC_INVALID_REQUEST = -32600
+RPC_METHOD_NOT_FOUND = -32601
+RPC_INVALID_PARAMS = -32602
+RPC_SERVER_ERROR = -32000
+
+#: Longest allowed long-poll, seconds; clients re-poll past this.
+MAX_POLL_S = 60.0
+
+
+class ExperimentService:
+    """The always-on experiment daemon: store + scheduler + HTTP API.
+
+    Parameters mirror the CLI: ``root`` is the engine root (queue,
+    cache and archive all live under it), ``workers`` sizes the
+    scheduler, ``use_processes`` routes compute through a process pool,
+    and ``port=0`` binds an ephemeral port.
+    """
+
+    def __init__(
+        self,
+        root: str | pathlib.Path | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        use_processes: bool = True,
+        on_event=None,
+    ) -> None:
+        self.root = pathlib.Path(root) if root is not None else default_root()
+        self.host = host
+        self._requested_port = port
+        self.on_event = on_event
+        self.engine = RunEngine(root=self.root)
+        self.store = JobStore(self.root, recover=True)
+        self.scheduler = Scheduler(
+            self.store,
+            self.engine,
+            workers=workers,
+            use_processes=use_processes,
+            on_event=on_event,
+        )
+        self._httpd: ThreadingHTTPServer | None = None
+        self._http_thread: threading.Thread | None = None
+        self._started_unix: float | None = None
+        self._methods = {
+            "submit": self._rpc_submit,
+            "status": self._rpc_status,
+            "result": self._rpc_result,
+            "cancel": self._rpc_cancel,
+            "requeue": self._rpc_requeue,
+            "queue": self._rpc_queue,
+            "events": self._rpc_events,
+            "health": self._rpc_health,
+            "shutdown": self._rpc_shutdown,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> tuple[str, int]:
+        """Boot scheduler + HTTP server; returns the bound (host, port)."""
+        if self._httpd is not None:
+            raise ServiceError("service already started")
+        self.scheduler.start()
+        service = self
+
+        class _Handler(_RPCHandler):
+            """Request handler bound to this service instance."""
+
+            context = service
+
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), _Handler
+        )
+        # Long-poll handler threads must not block process exit.
+        self._httpd.daemon_threads = True
+        self._started_unix = time.time()
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._http_thread.start()
+        self._publish_address()
+        return self.address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port); ServiceError before :meth:`start`."""
+        if self._httpd is None:
+            raise ServiceError("service is not running")
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        """The service base URL (http://host:port)."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def stop(self) -> None:
+        """Shut down HTTP + scheduler and retract the discovery file."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=5.0)
+            self._http_thread = None
+        self.scheduler.stop(wait=True)
+        self.service_file_path().unlink(missing_ok=True)
+
+    def serve_forever(self) -> None:
+        """Block until interrupted (the body of ``repro serve``)."""
+        try:
+            while self._httpd is not None:
+                time.sleep(0.2)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def service_file_path(self) -> pathlib.Path:
+        """Where this root's discovery file lives."""
+        return self.store.queue_dir / SERVICE_FILE
+
+    def _publish_address(self) -> None:
+        """Write the discovery file clients use to find the daemon."""
+        host, port = self.address
+        atomic_write_text(
+            self.service_file_path(),
+            json.dumps(
+                {
+                    "host": host,
+                    "port": port,
+                    "pid": os.getpid(),
+                    "started_unix": self._started_unix,
+                },
+                indent=2,
+                sort_keys=True,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # RPC dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, method: str, params: dict[str, object]) -> object:
+        """Invoke one RPC method; raises ServiceError for unknown names."""
+        handler = self._methods.get(method)
+        if handler is None:
+            raise ServiceError(
+                f"unknown method {method!r}; available: "
+                f"{sorted(self._methods)}"
+            )
+        return handler(**params)
+
+    def _rpc_submit(
+        self,
+        experiment: str,
+        seed: int = 0,
+        quick: bool = False,
+        params: dict[str, object] | None = None,
+        scan: dict[str, object] | None = None,
+        priority: int = 0,
+        pipeline: str = "main",
+        dedupe: bool = True,
+    ) -> dict[str, object]:
+        """Enqueue a run/sweep after registry validation of the spec."""
+        self._validate(experiment, params, scan)
+        job, deduped = self.store.submit(
+            experiment,
+            seed=seed,
+            quick=quick,
+            params=params,
+            scan=scan,
+            priority=priority,
+            pipeline=pipeline,
+            dedupe=dedupe,
+            engine=self.engine,
+        )
+        return {"job": job.to_dict(), "deduped": deduped}
+
+    @staticmethod
+    def _validate(
+        experiment: str,
+        params: dict[str, object] | None,
+        scan: dict[str, object] | None = None,
+    ) -> None:
+        """Reject unknown experiments / override / scan names at submit.
+
+        Registry introspection runs here — in the daemon — so a typo'd
+        submission (fixed override *or* sweep axis) fails the RPC
+        immediately instead of surfacing as a failed job minutes later.
+        """
+        from repro.experiments.registry import experiment_parameters
+
+        supported = experiment_parameters(experiment)
+        names = set(params or {})
+        if scan:
+            from repro.runtime.scan import scan_from_describe
+
+            names |= set(scan_from_describe(scan).names)
+        unknown = sorted(names - set(supported))
+        if unknown:
+            raise ConfigurationError(
+                f"{experiment.upper()} does not accept parameter(s) "
+                f"{unknown}; supported: {sorted(supported)}"
+            )
+
+    def _rpc_status(self, job_id: int | None = None) -> dict[str, object]:
+        """One job's document, or every job's summary."""
+        if job_id is not None:
+            return {"job": self.store.get(job_id).to_dict()}
+        return {"jobs": [job.to_dict() for job in self.store.jobs()]}
+
+    def _rpc_result(
+        self, job_id: int, timeout: float = 0.0
+    ) -> dict[str, object]:
+        """Long-poll one job until terminal (or timeout); returns it."""
+        job = self.store.wait_job(job_id, min(timeout, MAX_POLL_S))
+        document: dict[str, object] = {"job": job.to_dict()}
+        if job.run_ids:
+            try:
+                from repro.runtime import records
+
+                _, result = self.engine.load_run(job.run_ids[-1])
+                document["record"] = records.to_record(result)
+            except ReproError:
+                pass  # archive pruned between completion and fetch
+        return document
+
+    def _rpc_cancel(self, job_id: int) -> dict[str, object]:
+        """Cancel a job (immediate when pending, cooperative running)."""
+        return {"job": self.store.cancel(job_id).to_dict()}
+
+    def _rpc_requeue(self, job_id: int) -> dict[str, object]:
+        """Return a terminal job to the pending queue."""
+        job = self.store.requeue(job_id)
+        return {"job": job.to_dict()}
+
+    def _rpc_queue(self) -> dict[str, object]:
+        """The full queue snapshot (counts + job summaries)."""
+        return self.store.snapshot()
+
+    def _rpc_events(
+        self, since: int = 0, timeout: float = 0.0
+    ) -> dict[str, object]:
+        """Long-poll the journal feed for events with seq > ``since``."""
+        events = self.store.wait_events(since, min(timeout, MAX_POLL_S))
+        latest = events[-1]["seq"] if events else since
+        return {"events": events, "seq": latest}
+
+    def _rpc_health(self) -> dict[str, object]:
+        """Liveness snapshot: pid, uptime, worker and queue counts."""
+        counts = self.store.snapshot()["counts"]
+        return {
+            "ok": True,
+            "pid": os.getpid(),
+            "root": str(self.root),
+            "uptime_s": (
+                time.time() - self._started_unix if self._started_unix else 0.0
+            ),
+            "workers": self.scheduler.workers,
+            "counts": counts,
+            "cache": (
+                self.engine.cache.stats() if self.engine.cache else None
+            ),
+        }
+
+    def _rpc_shutdown(self) -> dict[str, object]:
+        """Stop the daemon (deferred so the reply still goes out)."""
+        threading.Thread(target=self.stop, daemon=True).start()
+        return {"ok": True}
+
+
+class _RPCHandler(BaseHTTPRequestHandler):
+    """Minimal JSON-RPC 2.0 handler over ``POST /rpc`` + ``GET /healthz``."""
+
+    #: Bound by :meth:`ExperimentService.start` to the owning service.
+    context: ExperimentService
+
+    #: Quiet the default stderr access log (the CLI has its own).
+    def log_message(self, format: str, *args: object) -> None:
+        """Suppress per-request stderr logging."""
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Health probe endpoint for shell scripts and CI."""
+        if self.path.rstrip("/") in ("", "/healthz"):
+            self._reply(200, self.context.dispatch("health", {}))
+        else:
+            self._reply(
+                404,
+                _rpc_error(
+                    None, RPC_INVALID_REQUEST, f"unknown path {self.path!r}"
+                ),
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        """Dispatch one JSON-RPC request."""
+        if self.path.rstrip("/") != "/rpc":
+            self._reply(
+                404,
+                _rpc_error(
+                    None, RPC_INVALID_REQUEST, f"unknown path {self.path!r}"
+                ),
+            )
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            request = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, TypeError):
+            self._reply(
+                400,
+                _rpc_error(None, RPC_INVALID_REQUEST, "unparseable request"),
+            )
+            return
+        request_id = request.get("id") if isinstance(request, dict) else None
+        if not isinstance(request, dict) or "method" not in request:
+            self._reply(
+                400,
+                _rpc_error(request_id, RPC_INVALID_REQUEST, "missing method"),
+            )
+            return
+        params = request.get("params") or {}
+        if not isinstance(params, dict):
+            self._reply(
+                400,
+                _rpc_error(
+                    request_id, RPC_INVALID_PARAMS, "params must be an object"
+                ),
+            )
+            return
+        try:
+            result = self.context.dispatch(str(request["method"]), params)
+        except ServiceError as error:
+            self._reply(
+                404, _rpc_error(request_id, RPC_METHOD_NOT_FOUND, str(error))
+            )
+        except (ConfigurationError, TypeError) as error:
+            # TypeError: params that do not match the method signature.
+            self._reply(
+                400, _rpc_error(request_id, RPC_INVALID_PARAMS, str(error))
+            )
+        except Exception as error:  # noqa: BLE001 - robust daemon boundary
+            self._reply(
+                500,
+                _rpc_error(
+                    request_id,
+                    RPC_SERVER_ERROR,
+                    f"{type(error).__name__}: {error}",
+                ),
+            )
+        else:
+            self._reply(
+                200, {"jsonrpc": "2.0", "id": request_id, "result": result}
+            )
+
+    def _reply(self, code: int, payload: dict[str, object]) -> None:
+        """Serialise one JSON response."""
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client gave up on a long-poll; nothing to salvage
+
+
+def _rpc_error(
+    request_id: object, code: int, message: str
+) -> dict[str, object]:
+    """A JSON-RPC 2.0 error envelope."""
+    return {
+        "jsonrpc": "2.0",
+        "id": request_id,
+        "error": {"code": code, "message": message},
+    }
+
+
+def read_service_file(
+    root: str | pathlib.Path | None = None,
+) -> dict[str, object]:
+    """The discovery document of a running daemon under ``root``.
+
+    Raises ServiceError when no daemon has published an address —
+    the CLI turns that into "is `repro serve` running?".
+    """
+    root = pathlib.Path(root) if root is not None else default_root()
+    path = root / "queue" / SERVICE_FILE
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise ServiceError(
+            f"no service address at {path} — is 'repro serve' running "
+            f"for this root?"
+        ) from error
+    except ValueError as error:
+        raise ServiceError(f"unreadable service file {path}: {error}") from error
+    return document

@@ -1,0 +1,222 @@
+"""Thin JSON-RPC client for the experiment service.
+
+:class:`ServiceClient` wraps ``urllib.request`` (stdlib, no new
+dependencies) around the daemon's ``POST /rpc`` endpoint.  Construct it
+with an explicit URL, or let :meth:`ServiceClient.discover` read the
+address a running ``repro serve`` published under the engine root::
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient.discover()          # $REPRO_RUNTIME_ROOT
+    job = client.submit("E5", quick=True, params={"pump_mw": 2.0})
+    done = client.wait(job["job_id"], timeout=120.0)
+    print(done["status"], done["metrics"])
+
+Every method returns plain JSON-native dicts (the job documents of
+:mod:`repro.service.jobs`); server-side failures raise
+:class:`repro.errors.ServiceError` and invalid submissions raise
+:class:`repro.errors.ConfigurationError`, mirroring local engine use.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.service.api import RPC_INVALID_PARAMS, read_service_file
+
+#: Extra HTTP slack on top of a long-poll timeout, seconds.
+_POLL_SLACK_S = 10.0
+
+
+class ServiceClient:
+    """A localhost JSON-RPC client bound to one service URL."""
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+        self._request_id = 0
+
+    @classmethod
+    def discover(
+        cls,
+        root: str | pathlib.Path | None = None,
+        timeout: float = 30.0,
+    ) -> "ServiceClient":
+        """A client for the daemon serving ``root`` (see module docs)."""
+        document = read_service_file(root)
+        return cls(
+            f"http://{document['host']}:{document['port']}", timeout=timeout
+        )
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def call(
+        self,
+        method: str,
+        params: dict[str, object] | None = None,
+        timeout: float | None = None,
+    ) -> dict[str, object]:
+        """One JSON-RPC round trip; returns the ``result`` member."""
+        self._request_id += 1
+        payload = json.dumps(
+            {
+                "jsonrpc": "2.0",
+                "id": self._request_id,
+                "method": method,
+                "params": params or {},
+            }
+        ).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.url}/rpc",
+            data=payload,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout or self.timeout
+            ) as response:
+                reply = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            reply = self._error_body(error)
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"experiment service unreachable at {self.url}: "
+                f"{error.reason}"
+            ) from error
+        if not isinstance(reply, dict):
+            raise ServiceError(
+                f"rpc {method!r}: malformed reply {reply!r}"
+            )
+        if "error" in reply:
+            error = reply["error"]
+            if not isinstance(error, dict):  # defensive: foreign server
+                error = {"code": None, "message": str(error)}
+            code = error.get("code")
+            message = str(error.get("message", "unknown error"))
+            if code == RPC_INVALID_PARAMS:
+                raise ConfigurationError(message)
+            raise ServiceError(f"rpc {method!r} failed: {message}")
+        return reply.get("result", {})
+
+    @staticmethod
+    def _error_body(error: urllib.error.HTTPError) -> dict[str, object]:
+        """Parse a JSON-RPC error envelope out of an HTTP error body."""
+        try:
+            return json.loads(error.read().decode("utf-8"))
+        except (OSError, ValueError):
+            return {
+                "error": {"code": None, "message": f"HTTP {error.code}"}
+            }
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        experiment: str,
+        seed: int = 0,
+        quick: bool = False,
+        params: dict[str, object] | None = None,
+        scan: dict[str, object] | None = None,
+        priority: int = 0,
+        pipeline: str = "main",
+        dedupe: bool = True,
+    ) -> dict[str, object]:
+        """Enqueue a run (or sweep, with ``scan``); returns the job doc.
+
+        The returned document gains a ``deduped`` key marking whether
+        the submission coalesced onto the cache or a live twin job.
+        """
+        result = self.call(
+            "submit",
+            {
+                "experiment": experiment,
+                "seed": seed,
+                "quick": quick,
+                "params": params or {},
+                "scan": scan,
+                "priority": priority,
+                "pipeline": pipeline,
+                "dedupe": dedupe,
+            },
+        )
+        job = dict(result["job"])
+        job["deduped"] = result.get("deduped", False)
+        return job
+
+    def status(self, job_id: int | None = None):
+        """One job document, or the list of all job documents."""
+        if job_id is None:
+            return self.call("status")["jobs"]
+        return self.call("status", {"job_id": int(job_id)})["job"]
+
+    def result(
+        self, job_id: int, timeout: float = 0.0
+    ) -> dict[str, object]:
+        """Long-poll one job; returns ``{"job": ..., "record": ...}``."""
+        return self.call(
+            "result",
+            {"job_id": int(job_id), "timeout": timeout},
+            timeout=timeout + _POLL_SLACK_S,
+        )
+
+    def wait(self, job_id: int, timeout: float = 60.0) -> dict[str, object]:
+        """Block until a job is terminal; raises ServiceError on timeout.
+
+        Re-polls in server-bounded slices so any ``timeout`` works even
+        past the server's per-request long-poll cap.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServiceError(
+                    f"job {job_id} not finished within {timeout:.1f}s"
+                )
+            document = self.result(job_id, timeout=min(remaining, 30.0))
+            job = dict(document["job"])
+            if job.get("status") in ("done", "failed", "cancelled"):
+                if "record" in document:
+                    job["record"] = document["record"]
+                return job
+
+    def cancel(self, job_id: int) -> dict[str, object]:
+        """Cancel a job; returns its updated document."""
+        return self.call("cancel", {"job_id": int(job_id)})["job"]
+
+    def requeue(self, job_id: int) -> dict[str, object]:
+        """Return a terminal job to pending; returns its document."""
+        return self.call("requeue", {"job_id": int(job_id)})["job"]
+
+    def queue(self) -> dict[str, object]:
+        """The queue snapshot (counts + every job summary)."""
+        return self.call("queue")
+
+    def events(
+        self, since: int = 0, timeout: float = 0.0
+    ) -> tuple[list[dict[str, object]], int]:
+        """Long-poll the event feed; returns ``(events, latest_seq)``."""
+        result = self.call(
+            "events",
+            {"since": int(since), "timeout": timeout},
+            timeout=timeout + _POLL_SLACK_S,
+        )
+        return list(result.get("events", [])), int(result.get("seq", since))
+
+    def health(self) -> dict[str, object]:
+        """The daemon's liveness snapshot."""
+        return self.call("health")
+
+    def shutdown(self) -> None:
+        """Ask the daemon to stop (fire-and-forget)."""
+        try:
+            self.call("shutdown")
+        except ServiceError:
+            pass  # the daemon may drop the connection while stopping

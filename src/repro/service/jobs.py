@@ -1,0 +1,187 @@
+"""The job model of the experiment service.
+
+A :class:`Job` is one queued unit of work — either a single experiment
+run (kind ``"run"``) or a whole parameter sweep (kind ``"sweep"``,
+carrying a serialised scan description).  Jobs move through the
+lifecycle state machine::
+
+    pending ──► running ──► done
+       │           │    └──► failed     (error = type/message/traceback)
+       └──────────►└───────► cancelled
+
+``pending → cancelled`` is immediate; a *running* job only observes
+``cancel_requested`` at its next point boundary (sweeps) or completion
+(single runs).  ``requeue`` returns any terminal job to ``pending``
+with its attempt counter bumped.
+
+Jobs are plain JSON documents on disk (see
+:class:`repro.service.store.JobStore`); everything here round-trips
+losslessly through :meth:`Job.to_dict` / :meth:`Job.from_dict`.
+
+Pure stdlib: the model sits below the CLI's no-numpy fast path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections.abc import Mapping
+
+from repro.errors import ConfigurationError
+from repro.runtime.engine import RunSpec
+
+#: Lifecycle states.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: All states, in lifecycle order (useful for table sorting).
+STATUSES = (PENDING, RUNNING, DONE, FAILED, CANCELLED)
+
+#: States a job can never leave (except via ``requeue``).
+TERMINAL = frozenset({DONE, FAILED, CANCELLED})
+
+#: Legal transitions of the state machine.
+_TRANSITIONS = {
+    PENDING: {RUNNING, CANCELLED},
+    RUNNING: {DONE, FAILED, CANCELLED},
+    DONE: {PENDING},  # requeue
+    FAILED: {PENDING},
+    CANCELLED: {PENDING},
+}
+
+#: Job kinds.
+KIND_RUN = "run"
+KIND_SWEEP = "sweep"
+
+
+@dataclasses.dataclass
+class Job:
+    """One queued experiment run or sweep, with its full lifecycle state."""
+
+    job_id: int
+    kind: str
+    experiment_id: str
+    seed: int = 0
+    quick: bool = False
+    params: dict[str, object] = dataclasses.field(default_factory=dict)
+    scan: dict[str, object] | None = None
+    pipeline: str = "main"
+    priority: int = 0
+    status: str = PENDING
+    cancel_requested: bool = False
+    attempt: int = 1
+    submitted_unix: float = 0.0
+    started_unix: float | None = None
+    finished_unix: float | None = None
+    #: Progress counters: points finished vs. total (1/1 for run jobs).
+    done_points: int = 0
+    total_points: int = 1
+    #: Filled on completion: the archived run id(s) and cache verdicts.
+    run_ids: list[str] = dataclasses.field(default_factory=list)
+    cached_points: int = 0
+    metrics: dict[str, float] | None = None
+    #: Filled on failure: ``type``/``message``/``traceback`` strings.
+    error: dict[str, str] | None = None
+
+    def __post_init__(self) -> None:
+        """Validate kind/scan consistency and normalise the id fields."""
+        if self.kind not in (KIND_RUN, KIND_SWEEP):
+            raise ConfigurationError(
+                f"job kind must be '{KIND_RUN}' or '{KIND_SWEEP}', "
+                f"got {self.kind!r}"
+            )
+        if self.kind == KIND_SWEEP and not self.scan:
+            raise ConfigurationError("sweep jobs need a scan description")
+        if self.kind == KIND_RUN and self.scan:
+            raise ConfigurationError("run jobs must not carry a scan")
+        self.experiment_id = self.experiment_id.upper()
+        if not self.pipeline:
+            raise ConfigurationError("pipeline name must be non-empty")
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def spec(self) -> RunSpec:
+        """The engine :class:`RunSpec` of a run-kind job."""
+        if self.kind != KIND_RUN:
+            raise ConfigurationError(
+                f"job {self.job_id} is a sweep; expand its scan instead"
+            )
+        return RunSpec.make(
+            self.experiment_id,
+            seed=self.seed,
+            quick=self.quick,
+            params=self.params,
+        )
+
+    def fingerprint(self) -> str | None:
+        """The cache fingerprint (run jobs only; None for sweeps)."""
+        return self.spec().fingerprint() if self.kind == KIND_RUN else None
+
+    def sort_key(self) -> tuple[int, int]:
+        """Claim order: highest priority first, then submission order."""
+        return (-self.priority, self.job_id)
+
+    @property
+    def is_terminal(self) -> bool:
+        """Whether the job has reached a final state."""
+        return self.status in TERMINAL
+
+    def label(self) -> str:
+        """One-line description used in progress and log messages."""
+        parts = [f"#{self.job_id}", self.kind, self.experiment_id]
+        if self.priority:
+            parts.append(f"prio={self.priority}")
+        if self.pipeline != "main":
+            parts.append(f"pipeline={self.pipeline}")
+        return " ".join(parts)
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def transition(self, status: str) -> None:
+        """Move to ``status``, enforcing the lifecycle state machine."""
+        allowed = _TRANSITIONS.get(self.status, set())
+        if status not in allowed:
+            raise ConfigurationError(
+                f"job {self.job_id} cannot go {self.status!r} → {status!r}; "
+                f"allowed: {sorted(allowed)}"
+            )
+        self.status = status
+        now = time.time()
+        if status == RUNNING:
+            self.started_unix = now
+        elif status in TERMINAL:
+            self.finished_unix = now
+        elif status == PENDING:  # requeue
+            self.attempt += 1
+            self.cancel_requested = False
+            self.started_unix = None
+            self.finished_unix = None
+            self.done_points = 0
+            self.run_ids = []
+            self.cached_points = 0
+            self.metrics = None
+            self.error = None
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        """The JSON-native document stored as the job's status file."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, object]) -> "Job":
+        """Rebuild a job from :meth:`to_dict` output (unknown keys ignored)."""
+        names = {field.name for field in dataclasses.fields(cls)}
+        kwargs = {k: v for k, v in document.items() if k in names}
+        try:
+            return cls(**kwargs)
+        except TypeError as error:
+            raise ConfigurationError(
+                f"unreadable job document (missing fields): {error}"
+            ) from error

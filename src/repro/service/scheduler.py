@@ -1,0 +1,287 @@
+"""The scheduler: drains the job store through a worker pool.
+
+ARTIQ's master runs one experiment pipeline per worker process; this
+scheduler is the offline equivalent sized for the reproduction's
+workload mix.  A configurable number of *claim threads* pull jobs off
+the :class:`repro.service.store.JobStore` in priority order.  Each
+claimed job is routed by cost:
+
+- **cache hits** are served directly on the claim thread — a hit is a
+  JSON read, so threads give maximal throughput (the ≥50 jobs/s bar of
+  ``benchmarks/bench_service_throughput.py``);
+- **compute** goes through a shared ``ProcessPoolExecutor`` (unless
+  ``use_processes=False``), keeping the GIL out of Monte-Carlo work
+  while all persistence — archiving, caching, job-file writes — stays
+  in the scheduler process (the engine's parent-side-I/O invariant).
+
+Sweep jobs stream: after every finished point the job file is rewritten
+with the new progress counters, so ``repro watch`` and the long-poll
+subscription see points as they complete, and a cancel request takes
+effect at the next point boundary.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+
+from repro.errors import WorkerError
+from repro.runtime.engine import (
+    RunEngine,
+    RunOutcome,
+    RunSpec,
+    _execute_safe,
+    _failure_from,
+)
+from repro.service.jobs import CANCELLED, DONE, FAILED, KIND_RUN, Job
+from repro.service.store import JobStore
+
+
+class Scheduler:
+    """Drains a :class:`JobStore` through claim threads + a process pool.
+
+    Parameters
+    ----------
+    store:
+        The persistent job queue to drain.
+    engine:
+        The run engine used for cache lookups and all persistence.
+    workers:
+        Claim threads (= maximum concurrently running jobs).
+    use_processes:
+        Execute cache misses in a ``ProcessPoolExecutor`` sized to
+        ``workers``.  ``False`` computes in-thread (tests, platforms
+        without fork).
+    poll_s:
+        Fallback wake interval of idle claim threads; submissions also
+        wake them immediately through the store's condition variable.
+    on_event:
+        Optional ``callable(message: str)`` receiving one line per
+        job transition (the CLI's ``serve`` log).
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        engine: RunEngine,
+        workers: int = 2,
+        use_processes: bool = True,
+        poll_s: float = 1.0,
+        on_event: Callable[[str], None] | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.store = store
+        self.engine = engine
+        self.workers = workers
+        self.use_processes = use_processes
+        self.poll_s = poll_s
+        self.on_event = on_event
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._pool = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the claim threads (idempotent while running)."""
+        if self._threads:
+            return
+        self._stop.clear()
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(f"worker-{index}",),
+                name=f"repro-scheduler-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, wait: bool = True) -> None:
+        """Stop claiming new jobs; with ``wait``, join the claim threads.
+
+        Jobs already running finish normally — stopping never corrupts
+        the queue, it just leaves remaining ``pending`` jobs for the
+        next scheduler (crash recovery handles everything harsher).
+        """
+        self._stop.set()
+        self.store.kick()
+        if wait:
+            for thread in self._threads:
+                thread.join()
+        self._threads = []
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=wait)
+                self._pool = None
+
+    @property
+    def running(self) -> bool:
+        """Whether any claim thread is alive."""
+        return any(thread.is_alive() for thread in self._threads)
+
+    def drain(self, timeout: float = 60.0) -> bool:
+        """Block until no job is pending or running (False on timeout)."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            snapshot = self.store.snapshot()["counts"]
+            live = snapshot.get("pending", 0) + snapshot.get("running", 0)
+            if live == 0:
+                return True
+            self.store.wait_for_work(0.05)
+        return False
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    def _worker_loop(self, name: str) -> None:
+        """One claim thread: claim → execute → repeat until stopped."""
+        while not self._stop.is_set():
+            job = self.store.claim(name)
+            if job is None:
+                self.store.wait_for_work(self.poll_s)
+                continue
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        """Execute one claimed job through to a terminal state."""
+        self._log(f"{job.label()} started (attempt {job.attempt})")
+        try:
+            if job.kind == KIND_RUN:
+                self._run_single(job)
+            else:
+                self._run_sweep(job)
+        except Exception as error:  # noqa: BLE001 - job-level isolation
+            # First line only: a WorkerError's message embeds the whole
+            # worker traceback, which the traceback field already holds.
+            message = str(error).splitlines()[0] if str(error) else ""
+            failure = (
+                {
+                    "type": type(error).__name__,
+                    "message": message,
+                    "traceback": getattr(error, "worker_traceback", "")
+                    or _failure_from(error)["traceback"],
+                }
+            )
+            try:
+                self.store.finish(job, FAILED, error=failure)
+            except Exception as second:  # noqa: BLE001 - keep thread alive
+                # finish() can itself fail (illegal transition after a
+                # persist error left the job terminal in memory, disk
+                # full, ...).  A claim thread must survive regardless —
+                # a dead worker silently halves the pool.
+                self._log(
+                    f"{job.label()} failure could not be recorded: "
+                    f"{type(second).__name__}: {second}"
+                )
+            else:
+                self._log(f"{job.label()} failed: {failure['type']}")
+        else:
+            self._log(f"{job.label()} {job.status}")
+
+    def _run_single(self, job: Job) -> None:
+        """Run-kind job: one spec through cache or compute.
+
+        A cancel request that lands mid-compute cannot abort the run
+        (the work is archived and cached regardless) but the job still
+        finishes ``cancelled``, so the terminal state matches what the
+        user asked for.
+        """
+        if job.cancel_requested:
+            self.store.finish(job, CANCELLED)
+            return
+        spec = job.spec()
+        outcome = self.engine.lookup(spec)
+        cached = outcome is not None
+        if outcome is None:
+            outcome = self._compute(spec)
+        self.store.update_progress(
+            job, 1, 1, run_id=outcome.run_id, cached=cached
+        )
+        if job.cancel_requested:
+            self.store.finish(job, CANCELLED)
+            return
+        self.store.finish(job, DONE, metrics=dict(outcome.result.metrics))
+
+    def _run_sweep(self, job: Job) -> None:
+        """Sweep-kind job: stream every scan point, honouring cancel."""
+        from repro.runtime.scan import scan_from_describe
+
+        scan = scan_from_describe(job.scan)
+        points = list(scan)
+        total = len(points)
+        last_metrics: dict[str, float] = {}
+        for index, point in enumerate(points):
+            if job.cancel_requested:
+                self.store.finish(job, CANCELLED)
+                return
+            merged = dict(job.params)
+            merged.update(point)
+            spec = RunSpec.make(
+                job.experiment_id,
+                seed=job.seed,
+                quick=job.quick,
+                params=merged,
+            )
+            outcome = self.engine.lookup(spec)
+            cached = outcome is not None
+            if outcome is None:
+                outcome = self._compute(spec)
+            last_metrics = dict(outcome.result.metrics)
+            self.store.update_progress(
+                job, index + 1, total, run_id=outcome.run_id, cached=cached
+            )
+        self.store.finish(job, DONE, metrics=last_metrics)
+
+    def _compute(self, spec: RunSpec) -> RunOutcome:
+        """Execute one cache miss (process pool or in-thread)."""
+        if not self.use_processes:
+            return self.engine.compute(spec)
+        record, failure, duration = self._submit_to_pool(spec)
+        if failure is not None:
+            self.engine.record_failure(spec, failure, duration)
+            raise WorkerError(
+                f"{spec.label()} failed in a pool worker: "
+                f"{failure['type']}: {failure['message']}\n"
+                f"{failure['traceback']}",
+                worker_traceback=failure["traceback"],
+            )
+        return self.engine.complete_record(spec, record, duration)
+
+    def _submit_to_pool(self, spec: RunSpec):
+        """Run ``_execute_safe`` on the shared process pool and wait.
+
+        A pool whose worker died (OOM kill, segfault) is discarded so
+        the *next* job rebuilds a healthy one — one crashed worker must
+        not poison every subsequent compute on an always-on daemon.
+        """
+        from concurrent.futures import BrokenExecutor
+
+        with self._pool_lock:
+            if self._pool is None:
+                from concurrent.futures import ProcessPoolExecutor
+
+                # Load the driver stack once in the parent so forked
+                # workers inherit it instead of each importing numpy.
+                import repro.experiments.registry  # noqa: F401
+
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            pool = self._pool
+        try:
+            return pool.submit(_execute_safe, spec).result()
+        except BrokenExecutor:
+            with self._pool_lock:
+                if self._pool is pool:
+                    self._pool = None
+            pool.shutdown(wait=False)
+            raise
+
+    def _log(self, message: str) -> None:
+        """Emit one scheduler log line through the configured callback."""
+        if self.on_event is not None:
+            self.on_event(message)

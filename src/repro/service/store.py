@@ -1,0 +1,548 @@
+"""Crash-safe persistent job queue under ``<engine root>/queue/``.
+
+Layout::
+
+    <root>/queue/jobs/<id>.json    per-job status file (atomic writes,
+                                   the source of truth)
+    <root>/queue/jobs/<id>.claim   O_EXCL claim marker while running
+    <root>/queue/journal.jsonl     append-only event log (audit trail +
+                                   the long-poll subscription feed)
+    <root>/queue/service.json      live server address (written by the
+                                   HTTP layer, see repro.service.api)
+
+Durability model: every job mutation rewrites the job file atomically
+and appends one event line to the journal, so killing the process at
+any instant leaves a readable queue.  On restart with ``recover=True``
+any job found ``running`` is returned to ``pending`` (its server died
+mid-run) and stale claim markers are released — the acceptance
+criterion of surviving a kill mid-drain.
+
+Concurrency model: one :class:`JobStore` instance is thread-safe via a
+single condition variable (submitters notify waiting scheduler workers
+and long-pollers).  Two *processes* sharing a queue directory are kept
+from double-running a job by the O_EXCL claim markers.
+
+Deduplication: a run-kind submission whose fingerprint is already in
+the engine's result cache completes instantly as a cache hit, and one
+that matches a live (pending/running) job coalesces onto it — the
+many-clients-one-cache behaviour the paper's sweep campaigns need.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+import pathlib
+import threading
+import time
+from collections.abc import Iterable, Mapping
+
+from repro.errors import ConfigurationError
+from repro.runtime.engine import RunEngine, RunSpec, default_root
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    KIND_RUN,
+    KIND_SWEEP,
+    PENDING,
+    RUNNING,
+    TERMINAL,
+    Job,
+)
+from repro.utils.io import append_line, atomic_write_text, read_json_lines
+
+#: Directory and file names inside the engine root.
+QUEUE_DIR = "queue"
+JOBS_DIR = "jobs"
+JOURNAL_FILE = "journal.jsonl"
+
+#: How many recent events the in-memory long-poll buffer retains.
+EVENT_BUFFER = 4096
+
+#: Journal line count above which store-open compacts the file down to
+#: the newest ``EVENT_BUFFER`` events.  Bounds the otherwise unbounded
+#: growth of an always-on daemon's journal (one fsynced line per job
+#: transition and sweep point) without a separate GC command.
+JOURNAL_COMPACT_LINES = 20_000
+
+
+class JobStore:
+    """The persistent, thread-safe priority queue of service jobs."""
+
+    def __init__(
+        self,
+        root: str | pathlib.Path | None = None,
+        recover: bool = False,
+    ) -> None:
+        self.root = pathlib.Path(root) if root is not None else default_root()
+        self.queue_dir = self.root / QUEUE_DIR
+        self.jobs_dir = self.queue_dir / JOBS_DIR
+        self.journal_path = self.queue_dir / JOURNAL_FILE
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._changed = threading.Condition(self._lock)
+        self._jobs: dict[int, Job] = {}
+        self._events: collections.deque[dict[str, object]] = (
+            collections.deque(maxlen=EVENT_BUFFER)
+        )
+        self._seq = 0
+        self._load(recover=recover)
+
+    # ------------------------------------------------------------------
+    # Loading and recovery
+    # ------------------------------------------------------------------
+    def _load(self, recover: bool) -> None:
+        """Read every job file (and the journal tail) back into memory."""
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            try:
+                document = json.loads(path.read_text(encoding="utf-8"))
+                job = Job.from_dict(document)
+            except (OSError, ValueError, ConfigurationError):
+                continue  # torn or foreign file; jobs are single-writer
+            self._jobs[job.job_id] = job
+        journal = [
+            entry
+            for entry in read_json_lines(self.journal_path)
+            if isinstance(entry, dict) and isinstance(entry.get("seq"), int)
+        ]
+        for entry in journal:
+            self._seq = max(self._seq, entry["seq"])
+            self._events.append(entry)
+        if len(journal) > JOURNAL_COMPACT_LINES:
+            # Compact to the long-poll buffer's worth of history; seq
+            # numbers keep increasing, so subscribers are unaffected.
+            atomic_write_text(
+                self.journal_path,
+                "\n".join(
+                    json.dumps(entry, sort_keys=True)
+                    for entry in journal[-EVENT_BUFFER:]
+                )
+                + "\n",
+            )
+        if recover:
+            self._recover()
+
+    def _recover(self) -> None:
+        """Return orphaned ``running`` jobs to ``pending`` after a crash.
+
+        Only *orphaned* ones: a running job whose claim marker names a
+        still-alive pid belongs to another daemon sharing this root and
+        must be left alone — recovery fences dead servers, it must not
+        steal live work.
+        """
+        with self._changed:
+            for job in self._jobs.values():
+                if self._claim_holder_alive(job.job_id):
+                    continue
+                if job.status == RUNNING:
+                    job.status = PENDING
+                    job.started_unix = None
+                    self._persist(job, "recovered")
+                self._claim_path(job.job_id).unlink(missing_ok=True)
+
+    def _claim_holder_alive(self, job_id: int) -> bool:
+        """Whether the pid written into a claim marker is still running.
+
+        A SIGKILLed daemon can linger as an unreaped *zombie* — its pid
+        still answers ``kill(pid, 0)`` but it will never finish its
+        jobs — so on Linux the ``/proc`` state is consulted too.
+        """
+        try:
+            text = self._claim_path(job_id).read_text(encoding="utf-8")
+            pid = int(text.split()[0])
+        except (OSError, ValueError, IndexError):
+            return False
+        if pid == os.getpid():
+            return False  # our own previous life cannot still be running
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except PermissionError:
+            return True  # exists, owned by another user
+        except OSError:
+            return False
+        return not _is_zombie(pid)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        experiment_id: str,
+        seed: int = 0,
+        quick: bool = False,
+        params: Mapping[str, object] | None = None,
+        scan: Mapping[str, object] | None = None,
+        priority: int = 0,
+        pipeline: str = "main",
+        dedupe: bool = True,
+        engine: RunEngine | None = None,
+    ) -> tuple[Job, bool]:
+        """Enqueue one run or sweep; returns ``(job, deduplicated)``.
+
+        With ``dedupe`` (the default) a run submission coalesces onto an
+        identical live job, and — when ``engine`` is given — a spec
+        already in the result cache completes instantly without ever
+        entering the queue.  ``scan`` selects a sweep job and must be a
+        ``Scan.describe()`` document.
+        """
+        kind = KIND_SWEEP if scan else KIND_RUN
+        # Cache consult happens *outside* the store lock: a hit on a
+        # pruned run re-archives it (numpy + npz writes), and that disk
+        # work must not stall claims and long-polls.  The cache is
+        # append-only, so the outcome cannot go stale while we wait.
+        outcome = None
+        if dedupe and kind == KIND_RUN and engine is not None:
+            if engine.cache is not None:
+                spec = RunSpec.make(
+                    experiment_id, seed=seed, quick=quick, params=params
+                )
+                outcome = engine.lookup(spec)
+        with self._changed:
+            job = Job(
+                job_id=0,  # allocated below, after dedup short-circuits
+                kind=kind,
+                experiment_id=experiment_id,
+                seed=int(seed),
+                quick=bool(quick),
+                params=dict(params or {}),
+                scan=dict(scan) if scan else None,
+                pipeline=pipeline,
+                priority=int(priority),
+                submitted_unix=time.time(),
+            )
+            if dedupe and kind == KIND_RUN:
+                twin = self._live_twin(job)
+                if twin is not None:
+                    return twin, True
+                if outcome is not None:
+                    job.job_id = self._allocate_id()
+                    self._serve_from_cache(job, outcome)
+                    return job, True
+            job.job_id = self._allocate_id()
+            self._jobs[job.job_id] = job
+            self._persist(job, "submitted")
+        return job, False
+
+    def _allocate_id(self) -> int:
+        """Claim the next free job id atomically across processes.
+
+        The id is reserved by O_EXCL-creating its job file (a stub the
+        immediate ``_persist`` overwrites), so two stores submitting to
+        one queue directory can never clobber each other's job files.
+        """
+        candidate = max(self._jobs, default=0)
+        while True:
+            candidate += 1
+            try:
+                descriptor = os.open(
+                    self.job_path(candidate),
+                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                )
+            except FileExistsError:
+                continue  # another process holds it; try the next id
+            os.close(descriptor)
+            return candidate
+
+    def _live_twin(self, job: Job) -> Job | None:
+        """A pending/running job with the same fingerprint, if any."""
+        fingerprint = job.fingerprint()
+        for other in self._jobs.values():
+            if other.kind != KIND_RUN or other.is_terminal:
+                continue
+            if other.fingerprint() == fingerprint:
+                return other
+        return None
+
+    def _serve_from_cache(self, job: Job, outcome) -> None:
+        """Complete ``job`` instantly from an already-served cache hit.
+
+        ``outcome`` is the :class:`~repro.runtime.engine.RunOutcome`
+        the submitter looked up before taking the lock.
+        """
+        job.transition(RUNNING)
+        job.transition(DONE)
+        job.done_points = 1
+        job.cached_points = 1
+        job.run_ids = [outcome.run_id]
+        job.metrics = dict(outcome.result.metrics)
+        self._jobs[job.job_id] = job
+        self._persist(job, "cached")
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def claim(self, worker: str = "?") -> Job | None:
+        """Atomically claim the highest-priority pending job, or None.
+
+        Claim order is ``(-priority, job_id)``.  The O_EXCL marker file
+        keeps a second scheduler *process* sharing this queue directory
+        from double-running the job; within one process the store lock
+        already serialises claims.
+        """
+        with self._changed:
+            for job in sorted(
+                (j for j in self._jobs.values() if j.status == PENDING),
+                key=Job.sort_key,
+            ):
+                if not self._take_claim(job.job_id, worker):
+                    continue
+                # Re-read the status file after winning the marker: a
+                # *second* store on this queue directory may have run
+                # the job to completion since our in-memory snapshot.
+                job = self._reload(job.job_id) or job
+                if job.status != PENDING:
+                    self._claim_path(job.job_id).unlink(missing_ok=True)
+                    continue
+                job.transition(RUNNING)
+                self._persist(job, "started", worker=worker)
+                return job
+        return None
+
+    def _reload(self, job_id: int) -> Job | None:
+        """Refresh one job from disk (syncs cross-process state)."""
+        try:
+            document = json.loads(
+                self.job_path(job_id).read_text(encoding="utf-8")
+            )
+            job = Job.from_dict(document)
+        except (OSError, ValueError, ConfigurationError):
+            return self._jobs.get(job_id)
+        self._jobs[job_id] = job
+        return job
+
+    def _claim_path(self, job_id: int) -> pathlib.Path:
+        """The claim-marker path of one job id."""
+        return self.jobs_dir / f"{job_id}.claim"
+
+    def _take_claim(self, job_id: int, worker: str) -> bool:
+        """Create the O_EXCL claim marker; False if another holder won."""
+        try:
+            descriptor = os.open(
+                self._claim_path(job_id),
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+        except FileExistsError:
+            return False
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(f"{os.getpid()} {worker}\n")
+        return True
+
+    def update_progress(
+        self,
+        job: Job,
+        done_points: int,
+        total_points: int,
+        run_id: str | None = None,
+        cached: bool = False,
+    ) -> None:
+        """Stream one finished sweep point into the job's status file."""
+        with self._changed:
+            job.done_points = done_points
+            job.total_points = total_points
+            if run_id is not None:
+                job.run_ids.append(run_id)
+            if cached:
+                job.cached_points += 1
+            self._persist(job, "progress")
+
+    def finish(
+        self,
+        job: Job,
+        status: str,
+        metrics: Mapping[str, float] | None = None,
+        error: Mapping[str, str] | None = None,
+    ) -> None:
+        """Transition a running job to a terminal state and persist it."""
+        with self._changed:
+            job.transition(status)
+            if metrics is not None:
+                job.metrics = dict(metrics)
+            if error is not None:
+                job.error = dict(error)
+            # Persist the terminal state *before* releasing the claim
+            # marker: a second store sharing this queue directory must
+            # never win the marker and re-read a stale 'running' file.
+            self._persist(job, status)
+            self._claim_path(job.job_id).unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # Client operations
+    # ------------------------------------------------------------------
+    def get(self, job_id: int) -> Job:
+        """The job with ``job_id`` (ConfigurationError if unknown)."""
+        with self._lock:
+            job = self._jobs.get(int(job_id))
+        if job is None:
+            raise ConfigurationError(
+                f"no job {job_id}; known ids: "
+                f"{sorted(self._jobs) or 'none yet'}"
+            )
+        return job
+
+    def jobs(self, status: str | None = None) -> list[Job]:
+        """All jobs (optionally filtered by status), in claim order."""
+        with self._lock:
+            every = sorted(self._jobs.values(), key=Job.sort_key)
+        if status is None:
+            return every
+        return [job for job in every if job.status == status]
+
+    def cancel(self, job_id: int) -> Job:
+        """Cancel a job: immediate when pending, cooperative when running.
+
+        A running job only observes the request at its next sweep-point
+        boundary; terminal jobs reject cancellation.
+        """
+        with self._changed:
+            job = self.get(job_id)
+            if job.is_terminal:
+                raise ConfigurationError(
+                    f"job {job_id} is already {job.status}"
+                )
+            if job.status == PENDING:
+                job.transition(CANCELLED)
+                self._persist(job, CANCELLED)
+            else:
+                job.cancel_requested = True
+                self._persist(job, "cancel_requested")
+        return job
+
+    def requeue(self, job_id: int) -> Job:
+        """Return a terminal job to ``pending`` (attempt counter bumped)."""
+        with self._changed:
+            job = self.get(job_id)
+            job.transition(PENDING)
+            self._persist(job, "requeued")
+        return job
+
+    def snapshot(self) -> dict[str, object]:
+        """Queue-wide counts plus every job's summary document."""
+        jobs = self.jobs()
+        counts: dict[str, int] = {}
+        for job in jobs:
+            counts[job.status] = counts.get(job.status, 0) + 1
+        return {
+            "root": str(self.root),
+            "seq": self.seq,
+            "counts": counts,
+            "jobs": [job.to_dict() for job in jobs],
+        }
+
+    # ------------------------------------------------------------------
+    # Events and waiting
+    # ------------------------------------------------------------------
+    @property
+    def seq(self) -> int:
+        """The monotonically increasing sequence number of the last event."""
+        with self._lock:
+            return self._seq
+
+    def events_since(self, since: int) -> list[dict[str, object]]:
+        """Buffered events with ``seq > since`` (oldest first)."""
+        with self._lock:
+            return [e for e in self._events if e.get("seq", 0) > since]
+
+    def wait_events(
+        self, since: int, timeout: float = 0.0
+    ) -> list[dict[str, object]]:
+        """Long-poll: block up to ``timeout`` seconds for new events."""
+        deadline = time.monotonic() + max(0.0, timeout)
+        with self._changed:
+            while True:
+                fresh = [e for e in self._events if e.get("seq", 0) > since]
+                if fresh:
+                    return fresh
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return []
+                self._changed.wait(remaining)
+
+    def wait_job(self, job_id: int, timeout: float = 0.0) -> Job:
+        """Long-poll: block up to ``timeout`` seconds for a terminal state.
+
+        Returns the job in whatever state it is in when the wait ends;
+        callers check :attr:`Job.is_terminal`.
+        """
+        deadline = time.monotonic() + max(0.0, timeout)
+        with self._changed:
+            while True:
+                job = self.get(job_id)
+                if job.is_terminal:
+                    return job
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return job
+                self._changed.wait(remaining)
+
+    def wait_for_work(self, timeout: float) -> bool:
+        """Block a scheduler worker until something changes (or timeout)."""
+        with self._changed:
+            if any(j.status == PENDING for j in self._jobs.values()):
+                return True
+            return self._changed.wait(timeout)
+
+    def kick(self) -> None:
+        """Wake every waiter (used by scheduler shutdown and tests)."""
+        with self._changed:
+            self._changed.notify_all()
+
+    # ------------------------------------------------------------------
+    # Persistence internals
+    # ------------------------------------------------------------------
+    def job_path(self, job_id: int) -> pathlib.Path:
+        """The status-file path of one job id."""
+        return self.jobs_dir / f"{job_id}.json"
+
+    def _persist(self, job: Job, event: str, **extra: object) -> None:
+        """Atomically rewrite the job file and journal one event.
+
+        Caller holds the lock.  The journal line carries the sequence
+        number that drives the long-poll subscription feed.
+        """
+        atomic_write_text(
+            self.job_path(job.job_id),
+            json.dumps(job.to_dict(), indent=2, sort_keys=True),
+        )
+        self._seq += 1
+        entry: dict[str, object] = {
+            "seq": self._seq,
+            "unix": time.time(),
+            "event": event,
+            "job_id": job.job_id,
+            "status": job.status,
+            "experiment_id": job.experiment_id,
+            "done_points": job.done_points,
+            "total_points": job.total_points,
+        }
+        entry.update(extra)
+        append_line(self.journal_path, json.dumps(entry, sort_keys=True))
+        self._events.append(entry)
+        self._changed.notify_all()
+
+
+def _is_zombie(pid: int) -> bool:
+    """Whether a pid is a zombie (Linux ``/proc``; False where absent)."""
+    try:
+        stat = pathlib.Path(f"/proc/{pid}/stat").read_text(encoding="utf-8")
+        # Field 3, after the parenthesised (possibly space-laden) comm.
+        return stat.rpartition(")")[2].split()[0] == "Z"
+    except (OSError, IndexError):
+        return False
+
+
+def journal_tail(
+    root: str | pathlib.Path | None = None, limit: int = 50
+) -> Iterable[dict[str, object]]:
+    """The last ``limit`` journal events of a queue directory on disk.
+
+    A read-only convenience for tooling that inspects a queue without
+    instantiating a store (e.g. ``repro watch --since``).
+    """
+    path = (
+        pathlib.Path(root) if root is not None else default_root()
+    ) / QUEUE_DIR / JOURNAL_FILE
+    entries = [e for e in read_json_lines(path) if isinstance(e, dict)]
+    return entries[-limit:]

@@ -17,6 +17,9 @@ _LAZY_EXPORTS = {
     "watts_to_dbm": "repro.utils.units",
     "IMPLEMENTATIONS": "repro.utils.dispatch",
     "validate_impl": "repro.utils.dispatch",
+    "append_line": "repro.utils.io",
+    "atomic_write_text": "repro.utils.io",
+    "read_json_lines": "repro.utils.io",
     "RandomStream": "repro.utils.rng",
     "derive_seed": "repro.utils.rng",
     "format_series": "repro.utils.tables",

@@ -1,0 +1,109 @@
+"""Crash-safe file primitives shared by the runtime and service layers.
+
+Everything that persists engine or queue state goes through
+:func:`atomic_write_text`: the text lands in a same-directory temp file
+first and is ``os.replace``-d over the destination, so a reader — or a
+second engine sharing the same ``$REPRO_RUNTIME_ROOT`` — can never
+observe a torn half-written file.  Appends (the job journal) go through
+:func:`append_line`, which flushes and fsyncs so a crash loses at most
+the line being written.
+
+Pure stdlib on purpose: this module sits below the CLI's no-numpy
+cached fast path.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import threading
+
+#: Per-process uniquifier for temp-file names; two threads of one
+#: process writing the same destination must not share a temp path.
+_COUNTER_LOCK = threading.Lock()
+_COUNTER = 0
+
+
+def _temp_path(path: pathlib.Path) -> pathlib.Path:
+    """A process-and-thread-unique sibling temp path for ``path``."""
+    global _COUNTER
+    with _COUNTER_LOCK:
+        _COUNTER += 1
+        serial = _COUNTER
+    return path.with_name(f".{path.name}.tmp-{os.getpid()}-{serial}")
+
+
+def atomic_write_text(path: str | pathlib.Path, text: str) -> pathlib.Path:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The parent directory is created if missing.  Concurrent writers of
+    the same path serialise to last-writer-wins with no interleaving;
+    readers always see either the previous or the new complete content.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = _temp_path(path)
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
+
+
+def atomic_write_bytes(path: str | pathlib.Path, data: bytes) -> pathlib.Path:
+    """Binary twin of :func:`atomic_write_text` (npz archives etc.)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = _temp_path(path)
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
+
+
+def append_line(path: str | pathlib.Path, line: str) -> None:
+    """Append one ``\\n``-terminated line to ``path``, flushed + fsynced.
+
+    The building block of the job journal: appends from concurrent
+    threads of one process are serialised by the caller's lock; a crash
+    mid-append loses only the trailing partial line, which journal
+    readers skip.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line.rstrip("\n") + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def read_json_lines(path: str | pathlib.Path) -> list[object]:
+    """Parse a JSONL file, skipping blank and torn (unparseable) lines.
+
+    Tolerance for a trailing partial line is what makes
+    :func:`append_line` journals crash-safe to read back.
+    """
+    import json
+
+    path = pathlib.Path(path)
+    if not path.exists():
+        return []
+    entries: list[object] = []
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            entries.append(json.loads(raw))
+        except ValueError:
+            continue
+    return entries

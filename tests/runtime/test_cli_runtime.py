@@ -116,6 +116,158 @@ class TestSweepCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestServiceParsers:
+    def test_serve_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "8123", "--workers", "4", "--in-process"]
+        )
+        assert args.command == "serve"
+        assert args.port == 8123 and args.workers == 4 and args.in_process
+
+    def test_submit_options(self):
+        args = build_parser().parse_args(
+            [
+                "submit",
+                "E5",
+                "--quick",
+                "--set",
+                "pump_mw=2",
+                "--priority",
+                "5",
+                "--wait",
+                "--timeout",
+                "30",
+            ]
+        )
+        assert args.experiment == "E5" and args.priority == 5
+        assert args.wait and args.timeout == 30.0
+
+    def test_submit_scan_makes_sweep(self):
+        args = build_parser().parse_args(
+            ["submit", "E6", "--scan", "pump_mw=2:20:5"]
+        )
+        assert args.scans == ["pump_mw=2:20:5"]
+
+    def test_status_watch_cancel_parse(self):
+        assert build_parser().parse_args(["status"]).job_id is None
+        assert build_parser().parse_args(["status", "3"]).job_id == 3
+        assert build_parser().parse_args(["watch", "--since", "7"]).since == 7
+        assert build_parser().parse_args(["cancel", "2"]).job_id == 2
+
+    def test_cache_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+    def test_client_commands_fail_cleanly_without_server(self, capsys):
+        assert main(["status"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def test_stats_empty(self, capsys):
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "Result cache" in out
+
+    def test_stats_after_run_then_clear(self, capsys):
+        assert main(["run", "E6", "--quick"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        assert "| 1 " in capsys.readouterr().out.replace("entries        |", "|")
+        assert main(["cache", "clear"]) == 0
+        assert "cleared 1 cache entry" in capsys.readouterr().out
+        assert main(["cache", "stats"]) == 0
+        # Recomputation happens after a clear: no cached entry left.
+        assert main(["run", "E6", "--quick"]) == 0
+
+
+class TestArchivePrune:
+    def test_prune_keeps_newest(self, capsys):
+        for mw in (4, 8, 12):
+            assert main(["run", "E6", "--quick", "--set", f"pump_mw={mw}"]) == 0
+        capsys.readouterr()
+        assert main(["archive", "--prune", "1"]) == 0
+        assert "pruned 2 run(s)" in capsys.readouterr().out
+        assert main(["archive"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("E6-") == 1
+
+    def test_prune_with_run_id_rejected(self, capsys):
+        assert main(["archive", "E6-abc", "--prune", "1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServiceCommandsEndToEnd:
+    """CLI client subcommands against an in-process service."""
+
+    @pytest.fixture
+    def service(self):
+        """A live service on the hermetic default root."""
+        from repro.service.api import ExperimentService
+
+        svc = ExperimentService(port=0, workers=2, use_processes=False)
+        svc.start()
+        yield svc
+        svc.stop()
+
+    def test_submit_wait_status_cancel(self, service, capsys):
+        assert main(["submit", "E6", "--quick", "--wait", "--timeout", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "job 1 run E6" in out and "→ done" in out
+        assert main(["status"]) == 0
+        assert "Service queue" in capsys.readouterr().out
+        assert main(["status", "1"]) == 0
+        assert "metrics:" in capsys.readouterr().out
+        assert main(["watch", "1"]) == 0
+        assert "done" in capsys.readouterr().out
+
+    def test_cancel_pending_job(self, service, capsys):
+        service.scheduler.stop(wait=True)  # keep the job queued
+        assert main(["submit", "E6", "--quick"]) == 0
+        capsys.readouterr()
+        assert main(["cancel", "1"]) == 0
+        assert "cancelled" in capsys.readouterr().out
+
+    def test_failed_job_status_shows_traceback(self, service, capsys):
+        assert (
+            main(
+                [
+                    "submit",
+                    "E7",
+                    "--quick",
+                    "--set",
+                    "dwell_s=-1",
+                    "--wait",
+                    "--timeout",
+                    "120",
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "error:" in out and "Traceback" in out
+        assert main(["status", "1"]) == 1
+        assert "Traceback" in capsys.readouterr().out
+
+    def test_submit_sweep_streams_points(self, service, capsys):
+        assert (
+            main(
+                [
+                    "submit",
+                    "E6",
+                    "--quick",
+                    "--scan",
+                    "pump_mw=2:20:3",
+                    "--wait",
+                    "--timeout",
+                    "120",
+                ]
+            )
+            == 0
+        )
+        assert "points: 3/3" in capsys.readouterr().out
+
+
 class TestArchiveCommand:
     def test_empty_archive_lists_nothing(self, capsys):
         assert main(["archive"]) == 0

@@ -205,6 +205,90 @@ class TestParallel:
         assert any("[2/2]" in line for line in lines)
 
 
+class TestFailureManifests:
+    """Per-point failures archive their formatted traceback."""
+
+    BAD = {"dwell_s": -1.0}  # E7 rejects negative dwell inside the driver
+
+    def test_serial_failure_archives_traceback_and_reraises(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.run("E7", quick=True, params=self.BAD)
+        from repro.runtime.engine import RunSpec
+
+        spec = RunSpec.make("E7", quick=True, params=self.BAD)
+        manifest = engine.load_manifest(spec.run_id())
+        assert manifest["status"] == "failed"
+        assert "Traceback" in manifest["error"]["traceback"]
+        assert manifest["error"]["type"]
+
+    def test_batch_failure_archives_failing_point(self, engine):
+        scan = ListScan("dwell_s", [5.0, -1.0])
+        with pytest.raises(ConfigurationError):
+            engine.sweep("E7", scan, quick=True, batch=True)
+        from repro.runtime.engine import RunSpec
+
+        bad = RunSpec.make("E7", quick=True, params={"dwell_s": -1.0})
+        manifest = engine.load_manifest(bad.run_id())
+        assert manifest["status"] == "failed"
+        assert "Traceback" in manifest["error"]["traceback"]
+        # The good point survived (same guarantee as before).
+        good = RunSpec.make("E7", quick=True, params={"dwell_s": 5.0})
+        assert engine.load_manifest(good.run_id())["status"] == "ok"
+
+    def test_pool_failure_carries_worker_traceback(self, tmp_path):
+        from repro.errors import WorkerError
+        from repro.runtime.engine import RunSpec
+
+        engine = RunEngine(root=tmp_path, max_workers=2)
+        specs = [
+            RunSpec.make("E7", quick=True, params={"dwell_s": -1.0}),
+            RunSpec.make("E7", quick=True, params={"dwell_s": -2.0}),
+        ]
+        with pytest.raises(WorkerError) as excinfo:
+            engine.run_specs(specs)
+        assert "Traceback" in excinfo.value.worker_traceback
+        assert "Traceback" in str(excinfo.value)
+
+    def test_load_run_of_failed_run_mentions_failure(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.run("E7", quick=True, params=self.BAD)
+        from repro.runtime.engine import RunSpec
+
+        run_id = RunSpec.make("E7", quick=True, params=self.BAD).run_id()
+        with pytest.raises(ConfigurationError, match="failed"):
+            engine.load_run(run_id)
+
+    def test_failed_spec_recomputes_after_fix(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.run("E7", quick=True, params=self.BAD)
+        # No cache entry was poisoned: the valid spec runs fresh.
+        outcome = engine.run("E7", quick=True, params={"dwell_s": 5.0})
+        assert not outcome.cached and outcome.result.metrics
+
+
+class TestPrune:
+    def test_prune_keeps_newest(self, engine):
+        for mw in (4.0, 8.0, 12.0):
+            engine.run("E6", quick=True, params={"pump_mw": mw})
+        before = engine.list_runs()
+        assert len(before) == 3
+        removed = engine.prune_runs(1)
+        assert len(removed) == 2
+        survivors = engine.list_runs()
+        assert [m["run_id"] for m in survivors] == [before[0]["run_id"]]
+        # The cache is untouched: pruned runs still serve as hits.
+        assert engine.run("E6", quick=True, params={"pump_mw": 4.0}).cached
+
+    def test_prune_zero_removes_everything(self, engine):
+        engine.run("E6", quick=True)
+        assert len(engine.prune_runs(0)) == 1
+        assert engine.list_runs() == []
+
+    def test_negative_prune_rejected(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.prune_runs(-1)
+
+
 class TestArchiveAccess:
     def test_list_and_load(self, engine):
         outcome = engine.run("E6", quick=True, params={"pump_mw": 10.0})

@@ -1,0 +1,108 @@
+"""Job model: lifecycle state machine, validation, JSON round-trip."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PENDING,
+    RUNNING,
+    Job,
+)
+
+
+def make_job(**overrides):
+    """A minimal run-kind job with overridable fields."""
+    fields = {"job_id": 1, "kind": "run", "experiment_id": "e6"}
+    fields.update(overrides)
+    return Job(**fields)
+
+
+class TestValidation:
+    def test_id_uppercased(self):
+        assert make_job().experiment_id == "E6"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_job(kind="batch")
+
+    def test_sweep_requires_scan(self):
+        with pytest.raises(ConfigurationError):
+            make_job(kind="sweep")
+
+    def test_run_rejects_scan(self):
+        with pytest.raises(ConfigurationError):
+            make_job(scan={"type": "ListScan"})
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_job(pipeline="")
+
+
+class TestStateMachine:
+    def test_happy_path(self):
+        job = make_job()
+        job.transition(RUNNING)
+        assert job.started_unix is not None
+        job.transition(DONE)
+        assert job.is_terminal and job.finished_unix is not None
+
+    def test_pending_cannot_jump_to_done(self):
+        with pytest.raises(ConfigurationError):
+            make_job().transition(DONE)
+
+    def test_terminal_rejects_running(self):
+        job = make_job()
+        job.transition(CANCELLED)
+        with pytest.raises(ConfigurationError):
+            job.transition(RUNNING)
+
+    def test_requeue_resets_progress_and_bumps_attempt(self):
+        job = make_job()
+        job.transition(RUNNING)
+        job.done_points = 1
+        job.run_ids = ["E6-abc"]
+        job.error = {"type": "X", "message": "y", "traceback": "z"}
+        job.transition(FAILED)
+        job.transition(PENDING)
+        assert job.attempt == 2
+        assert job.done_points == 0 and job.run_ids == []
+        assert job.error is None and not job.cancel_requested
+
+
+class TestRoundTrip:
+    def test_to_from_dict(self):
+        job = make_job(params={"pump_mw": 9.0}, priority=3)
+        job.transition(RUNNING)
+        clone = Job.from_dict(job.to_dict())
+        assert clone == job
+
+    def test_unknown_keys_ignored(self):
+        document = make_job().to_dict()
+        document["future_field"] = 42
+        assert Job.from_dict(document).job_id == 1
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Job.from_dict({"job_id": 1})
+
+
+class TestOrdering:
+    def test_priority_beats_submission_order(self):
+        low = make_job(job_id=1, priority=0)
+        high = make_job(job_id=2, priority=10)
+        assert sorted([low, high], key=Job.sort_key)[0] is high
+
+    def test_fifo_within_priority(self):
+        first = make_job(job_id=1, priority=5)
+        second = make_job(job_id=2, priority=5)
+        assert sorted([second, first], key=Job.sort_key)[0] is first
+
+    def test_spec_fingerprint_matches_engine(self):
+        from repro.runtime.engine import RunSpec
+
+        job = make_job(params={"pump_mw": 9.0}, quick=True)
+        spec = RunSpec.make("E6", quick=True, params={"pump_mw": 9.0})
+        assert job.fingerprint() == spec.fingerprint()

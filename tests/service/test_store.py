@@ -1,0 +1,265 @@
+"""JobStore: persistence, priority claims, dedup, cancel, recovery."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.engine import RunEngine
+from repro.service.jobs import CANCELLED, DONE, FAILED, PENDING, RUNNING
+from repro.service.store import JobStore
+
+
+@pytest.fixture
+def root(tmp_path):
+    """A fresh engine root for each test."""
+    return tmp_path / "engine-root"
+
+
+@pytest.fixture
+def store(root):
+    """An empty job store under the test root."""
+    return JobStore(root)
+
+
+class TestSubmit:
+    def test_submit_persists_job_file_and_journal(self, store):
+        job, deduped = store.submit("e6", quick=True, priority=2)
+        assert not deduped
+        assert job.status == PENDING and job.experiment_id == "E6"
+        document = json.loads(store.job_path(job.job_id).read_text())
+        assert document["priority"] == 2
+        assert store.journal_path.exists()
+        assert store.seq >= 1
+
+    def test_ids_are_sequential(self, store):
+        first, _ = store.submit("E6")
+        second, _ = store.submit("E7")
+        assert second.job_id == first.job_id + 1
+
+    def test_live_twin_coalesces(self, store):
+        first, _ = store.submit("E6", quick=True)
+        twin, deduped = store.submit("E6", quick=True)
+        assert deduped and twin.job_id == first.job_id
+
+    def test_no_dedupe_enqueues_twice(self, store):
+        first, _ = store.submit("E6", quick=True)
+        second, deduped = store.submit("E6", quick=True, dedupe=False)
+        assert not deduped and second.job_id != first.job_id
+
+    def test_cache_hit_completes_instantly(self, root, store):
+        engine = RunEngine(root=root)
+        engine.run("E6", quick=True)  # warm the cache
+        job, deduped = store.submit("E6", quick=True, engine=engine)
+        assert deduped and job.status == DONE
+        assert job.cached_points == 1 and job.metrics
+
+    def test_sweep_jobs_never_cache_dedupe(self, root, store):
+        engine = RunEngine(root=root)
+        engine.run("E6", quick=True)
+        scan = {"type": "ListScan", "name": "pump_mw", "values": [4.0]}
+        job, deduped = store.submit("E6", quick=True, scan=scan, engine=engine)
+        assert not deduped and job.status == PENDING
+
+
+class TestClaim:
+    def test_priority_order(self, store):
+        low, _ = store.submit("E6", priority=0)
+        high, _ = store.submit("E7", priority=9)
+        mid, _ = store.submit("E5", priority=5)
+        order = [store.claim().job_id for _ in range(3)]
+        assert order == [high.job_id, mid.job_id, low.job_id]
+
+    def test_claim_marks_running_and_creates_marker(self, store):
+        job, _ = store.submit("E6")
+        claimed = store.claim("w0")
+        assert claimed.job_id == job.job_id and claimed.status == RUNNING
+        assert store._claim_path(job.job_id).exists()
+
+    def test_empty_queue_claims_none(self, store):
+        assert store.claim() is None
+
+    def test_foreign_claim_marker_skips_job(self, store):
+        job, _ = store.submit("E6")
+        other, _ = store.submit("E7")
+        store._claim_path(job.job_id).touch()  # another process owns it
+        assert store.claim().job_id == other.job_id
+
+    def test_finish_releases_marker(self, store):
+        job, _ = store.submit("E6")
+        claimed = store.claim()
+        store.finish(claimed, DONE, metrics={"x": 1.0})
+        assert not store._claim_path(job.job_id).exists()
+        assert store.get(job.job_id).metrics == {"x": 1.0}
+
+
+class TestCancelRequeue:
+    def test_cancel_pending_is_immediate(self, store):
+        job, _ = store.submit("E6")
+        assert store.cancel(job.job_id).status == CANCELLED
+
+    def test_cancel_running_is_cooperative(self, store):
+        store.submit("E6")
+        job = store.claim()
+        cancelled = store.cancel(job.job_id)
+        assert cancelled.status == RUNNING and cancelled.cancel_requested
+
+    def test_cancel_terminal_rejected(self, store):
+        job, _ = store.submit("E6")
+        store.cancel(job.job_id)
+        with pytest.raises(ConfigurationError):
+            store.cancel(job.job_id)
+
+    def test_requeue_failed_job(self, store):
+        store.submit("E6")
+        job = store.claim()
+        store.finish(job, FAILED, error={"type": "X", "message": "y",
+                                         "traceback": "z"})
+        requeued = store.requeue(job.job_id)
+        assert requeued.status == PENDING and requeued.attempt == 2
+        assert requeued.error is None
+
+    def test_requeue_pending_rejected(self, store):
+        job, _ = store.submit("E6")
+        with pytest.raises(ConfigurationError):
+            store.requeue(job.job_id)
+
+    def test_unknown_job_rejected(self, store):
+        with pytest.raises(ConfigurationError):
+            store.get(404)
+
+
+class TestPersistenceAndRecovery:
+    def test_reopen_sees_same_queue(self, root):
+        first = JobStore(root)
+        submitted, _ = first.submit("E6", priority=7, params={"pump_mw": 3})
+        reopened = JobStore(root)
+        job = reopened.get(submitted.job_id)
+        assert job.priority == 7 and job.params == {"pump_mw": 3}
+        assert reopened.seq == first.seq
+
+    def test_recovery_resets_running_jobs(self, root):
+        first = JobStore(root)
+        first.submit("E6")
+        claimed = first.claim("w0")
+        assert claimed.status == RUNNING
+        # Simulate a SIGKILL: the claim marker and running status file
+        # are exactly what a dead server leaves behind.
+        recovered = JobStore(root, recover=True)
+        job = recovered.get(claimed.job_id)
+        assert job.status == PENDING
+        assert not recovered._claim_path(job.job_id).exists()
+        assert recovered.claim("w1").job_id == job.job_id
+
+    def test_recovery_leaves_live_holders_alone(self, root):
+        first = JobStore(root)
+        first.submit("E6")
+        claimed = first.claim("w0")
+        # Rewrite the claim marker to name a pid that is alive (pid 1):
+        # the job belongs to another live daemon and must not be stolen.
+        first._claim_path(claimed.job_id).write_text(
+            "1 other-daemon\n", encoding="utf-8"
+        )
+        recovered = JobStore(root, recover=True)
+        assert recovered.get(claimed.job_id).status == RUNNING
+        assert recovered._claim_path(claimed.job_id).exists()
+        assert recovered.claim("w1") is None  # nothing stealable
+
+    def test_recovery_fences_dead_holders(self, root):
+        first = JobStore(root)
+        first.submit("E6")
+        claimed = first.claim("w0")
+        # A pid that cannot exist: the holder is dead, the job orphaned.
+        first._claim_path(claimed.job_id).write_text(
+            "999999999 dead-daemon\n", encoding="utf-8"
+        )
+        recovered = JobStore(root, recover=True)
+        assert recovered.get(claimed.job_id).status == PENDING
+        assert not recovered._claim_path(claimed.job_id).exists()
+
+    def test_reopen_without_recover_keeps_running(self, root):
+        first = JobStore(root)
+        first.submit("E6")
+        first.claim()
+        inspector = JobStore(root)  # read-only peek, e.g. repro status
+        assert inspector.jobs(RUNNING)
+
+    def test_two_submitting_stores_never_clobber_ids(self, root):
+        # Two stores (as from two processes) submit interleaved: the
+        # O_EXCL id reservation must keep every job file distinct.
+        store_a = JobStore(root)
+        store_b = JobStore(root)  # boots with the same (empty) snapshot
+        a1, _ = store_a.submit("E6", params={"pump_mw": 1.0})
+        b1, _ = store_b.submit("E7", dedupe=False)
+        a2, _ = store_a.submit("E6", params={"pump_mw": 2.0})
+        assert len({a1.job_id, b1.job_id, a2.job_id}) == 3
+        fresh = JobStore(root)
+        assert fresh.get(a1.job_id).experiment_id == "E6"
+        assert fresh.get(b1.job_id).experiment_id == "E7"
+
+    def test_oversized_journal_compacted_on_open(self, root, monkeypatch):
+        import repro.service.store as store_module
+
+        store = JobStore(root)
+        job, _ = store.submit("E6")
+        for _ in range(30):
+            store.update_progress(job, 0, 1)
+        before = len(store.journal_path.read_text().splitlines())
+        monkeypatch.setattr(store_module, "JOURNAL_COMPACT_LINES", 10)
+        monkeypatch.setattr(store_module, "EVENT_BUFFER", 5)
+        reopened = JobStore(root)
+        after = len(reopened.journal_path.read_text().splitlines())
+        assert before > 30 and after == 5
+        # Seq keeps rising across the compaction.
+        assert reopened.seq == store.seq
+
+    def test_torn_job_file_skipped(self, root):
+        store = JobStore(root)
+        store.submit("E6")
+        (store.jobs_dir / "999.json").write_text("{torn", encoding="utf-8")
+        assert len(JobStore(root).jobs()) == 1
+
+
+class TestEventsAndWaiting:
+    def test_events_since_filters(self, store):
+        store.submit("E6")
+        seq = store.seq
+        store.submit("E7")
+        fresh = store.events_since(seq)
+        assert len(fresh) == 1 and fresh[0]["experiment_id"] == "E7"
+
+    def test_wait_events_times_out_empty(self, store):
+        assert store.wait_events(store.seq, timeout=0.05) == []
+
+    def test_wait_events_wakes_on_submit(self, store):
+        results = []
+
+        def waiter():
+            results.extend(store.wait_events(store.seq, timeout=5.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        store.submit("E6")
+        thread.join(timeout=5.0)
+        assert results and results[0]["event"] == "submitted"
+
+    def test_wait_job_returns_terminal(self, store):
+        store.submit("E6")
+        job = store.claim()
+
+        def finisher():
+            store.finish(job, DONE)
+
+        thread = threading.Timer(0.05, finisher)
+        thread.start()
+        waited = store.wait_job(job.job_id, timeout=5.0)
+        thread.join()
+        assert waited.status == DONE
+
+    def test_snapshot_counts(self, store):
+        store.submit("E6")
+        store.submit("E7")
+        store.claim()
+        counts = store.snapshot()["counts"]
+        assert counts == {"pending": 1, "running": 1}
