@@ -1,0 +1,135 @@
+"""Archive-index throughput: build rate and warm-query latency.
+
+Two gates, sized for the O(10k)-run archives the analysis subsystem is
+designed around (ISSUE 5):
+
+- **index build** — a full :meth:`ArchiveIndex.rebuild` over a
+  synthetic archive must sustain **≥ 200 runs/s** (each run costs a
+  manifest + result-record read plus the payload stat signature);
+- **warm query** — filtering a loaded index must answer in **< 50 ms**
+  (queries never touch run directories, let alone npz files).
+
+Results append a trajectory entry to ``BENCH_analysis.json`` in the
+repository root (gitignored, like the other BENCH files).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.analysis.index import ArchiveIndex
+from repro.experiments.base import ExperimentResult
+from repro.runtime import records
+from repro.runtime.engine import RunEngine, RunSpec
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+TRAJECTORY_FILE = REPO_ROOT / "BENCH_analysis.json"
+
+#: Synthetic archive size: big enough to average out per-call noise,
+#: small enough to fabricate in a couple of seconds.
+NUM_RUNS = 300
+
+#: Repeats of the warm query battery (latency is the mean per battery).
+QUERY_ROUNDS = 20
+
+
+def _fabricate_archive(root: pathlib.Path) -> RunEngine:
+    """Archive NUM_RUNS synthetic runs through the real persistence path."""
+    engine = RunEngine(root=root)
+    experiments = ("E1", "E5", "E6", "E7")
+    for i in range(NUM_RUNS):
+        experiment = experiments[i % len(experiments)]
+        result = ExperimentResult(
+            experiment_id=experiment,
+            title="bench fixture",
+            paper_claim="index throughput",
+            headers=["name", "value"],
+            rows=[["alpha", float(i)]],
+            metrics={"car": 10.0 + i, "rate_hz": float(i)},
+        )
+        spec = RunSpec.make(
+            experiment, seed=i // 4, params={"pump_mw": float(2 + i % 16)}
+        )
+        engine.complete_record(spec, records.to_record(result), 0.001)
+    return engine
+
+
+def _record_trajectory(entry: dict[str, object]) -> None:
+    """Append one timestamped entry to BENCH_analysis.json."""
+    trajectory: list[dict[str, object]] = []
+    if TRAJECTORY_FILE.exists():
+        try:
+            previous = json.loads(TRAJECTORY_FILE.read_text(encoding="utf-8"))
+            if isinstance(previous, list):
+                trajectory = previous
+        except ValueError:
+            trajectory = []
+    trajectory.append({"recorded_unix": time.time(), **entry})
+    TRAJECTORY_FILE.write_text(
+        json.dumps(trajectory, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def bench_index_build_and_query(benchmark, tmp_path):
+    """Gate the rebuild rate (≥200 runs/s) and warm query (<50 ms)."""
+    engine = _fabricate_archive(tmp_path / "root")
+
+    def rebuild():
+        start = time.perf_counter()
+        index = ArchiveIndex(engine.root).rebuild()
+        return index, time.perf_counter() - start
+
+    index, build_s = benchmark.pedantic(rebuild, rounds=1, iterations=1)
+    assert len(index) == NUM_RUNS
+    build_rate = NUM_RUNS / build_s
+
+    # Warm queries on the loaded index: a filter battery per round.
+    def battery() -> int:
+        total = 0
+        total += len(index.query(experiment="E5"))
+        total += len(index.query(experiment="E7", seed=3))
+        total += len(index.query(where={"pump_mw": (4.0, 9.0)}))
+        total += len(index.query(status="ok", limit=10))
+        index.latest_per_experiment()
+        return total
+
+    battery()  # warm any lazy state before timing
+    start = time.perf_counter()
+    for _ in range(QUERY_ROUNDS):
+        matched = battery()
+    query_ms = (time.perf_counter() - start) / QUERY_ROUNDS * 1e3
+    assert matched > 0
+
+    # And the incremental path: a no-op refresh (journal empty, nothing
+    # stale) must also beat the build gate — it is the CLI hot path.
+    start = time.perf_counter()
+    refreshed = ArchiveIndex(engine.root).refresh()
+    refresh_s = time.perf_counter() - start
+    assert len(refreshed) == NUM_RUNS
+
+    entry = {
+        "runs": NUM_RUNS,
+        "build_seconds": round(build_s, 4),
+        "build_runs_per_s": round(build_rate, 1),
+        "warm_query_ms": round(query_ms, 3),
+        "noop_refresh_seconds": round(refresh_s, 4),
+    }
+    print()
+    print(
+        f"index build   {NUM_RUNS} runs in {build_s:6.3f}s "
+        f"= {build_rate:7.1f} runs/s"
+    )
+    print(f"warm query    {query_ms:6.2f} ms per filter battery")
+    print(f"no-op refresh {refresh_s:6.3f}s")
+    _record_trajectory(entry)
+    print(f"trajectory entry appended to {TRAJECTORY_FILE.name}")
+
+    assert build_rate >= 200.0, (
+        f"index build only {build_rate:.1f} runs/s (need 200)"
+    )
+    assert query_ms < 50.0, (
+        f"warm query {query_ms:.1f} ms per battery (need <50)"
+    )

@@ -1,0 +1,47 @@
+"""Analysis subsystem: the archive as a query surface.
+
+Three layers over the run engine's archive (see DESIGN.md "The
+analysis layer"):
+
+- :mod:`repro.analysis.index` — an incrementally maintained, crash-safe
+  catalog of every archived run with a filter/latest/sweep-group query
+  API that resolves ``O(10k)`` runs without touching npz files.
+- :mod:`repro.analysis.analyzers` — declarative analyzer units mapping
+  selections of archived runs to derived datasets, content-addressed on
+  (analyzer id + version, input digests).
+- :mod:`repro.analysis.pipelines` / :mod:`repro.analysis.report` — named
+  analyzer pipelines with incremental recompute, emitting deterministic
+  JSON + Markdown reports.
+
+Submodules are imported lazily (PEP 562) so cached CLI invocations
+never pay for numpy or the physics stack.
+"""
+
+from __future__ import annotations
+
+from repro._lazy import lazy_exports
+
+#: Public names and the submodule each lives in (resolved lazily).
+_LAZY_EXPORTS = {
+    "ArchiveIndex": "repro.analysis.index",
+    "scan_run_dir": "repro.analysis.index",
+    "journal_append": "repro.analysis.index",
+    "journal_remove": "repro.analysis.index",
+    "entry_from_outcome": "repro.analysis.index",
+    "ANALYZERS": "repro.analysis.analyzers",
+    "Analyzer": "repro.analysis.analyzers",
+    "AnalysisContext": "repro.analysis.analyzers",
+    "get_analyzer": "repro.analysis.analyzers",
+    "PIPELINES": "repro.analysis.pipelines",
+    "PipelineRunner": "repro.analysis.pipelines",
+    "PipelineResult": "repro.analysis.pipelines",
+    "get_pipeline": "repro.analysis.pipelines",
+    "build_report": "repro.analysis.report",
+    "write_report": "repro.analysis.report",
+    "load_report": "repro.analysis.report",
+    "render_markdown": "repro.analysis.report",
+}
+
+__all__ = sorted(_LAZY_EXPORTS)
+
+__getattr__ = lazy_exports("repro.analysis", globals(), _LAZY_EXPORTS)

@@ -1,0 +1,171 @@
+"""Analysis reports: deterministic JSON payloads + Markdown rendering.
+
+``repro analyze`` (and analyze jobs on the experiment service) persist
+one report per pipeline under ``<root>/analysis/reports/<name>.json``
+and ``.md``.  The JSON payload is *deterministic*: it carries analyzer
+identities, input digests and outputs but no timestamps or cache
+verdicts, so the same archive always yields byte-identical payloads —
+whether computed locally, served from the analysis cache, or produced
+by an analyze job inside the service (the acceptance criterion of
+ISSUE 5).
+
+Pure stdlib: rendering a cached report must not import numpy.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.analysis.pipelines import (
+    REPORTS_DIR,
+    PipelineResult,
+    analysis_dir,
+)
+from repro.errors import AnalysisError
+from repro.utils.io import atomic_write_text
+
+#: Bump when the report payload layout changes.
+REPORT_SCHEMA = 1
+
+
+def build_report(result: PipelineResult) -> dict[str, object]:
+    """The deterministic report payload of one pipeline run."""
+    return {
+        "schema": REPORT_SCHEMA,
+        "pipeline": result.pipeline,
+        "analyzers": [outcome.document() for outcome in result.outcomes],
+    }
+
+
+def report_paths(
+    root: str | pathlib.Path | None, pipeline: str
+) -> tuple[pathlib.Path, pathlib.Path]:
+    """(json path, markdown path) of one pipeline's report artifacts."""
+    base = analysis_dir(root) / REPORTS_DIR
+    return base / f"{pipeline}.json", base / f"{pipeline}.md"
+
+
+def write_report(
+    root: str | pathlib.Path | None, result: PipelineResult
+) -> tuple[pathlib.Path, pathlib.Path]:
+    """Persist both artifacts (atomic); returns their paths."""
+    document = build_report(result)
+    json_path, md_path = report_paths(root, result.pipeline)
+    atomic_write_text(
+        json_path, json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+    atomic_write_text(md_path, render_markdown(document))
+    return json_path, md_path
+
+
+def load_report(
+    root: str | pathlib.Path | None, pipeline: str
+) -> dict[str, object]:
+    """Read one pipeline's persisted JSON report payload."""
+    json_path, _ = report_paths(root, pipeline)
+    try:
+        document = json.loads(json_path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise AnalysisError(
+            f"no report for pipeline {pipeline!r} at {json_path}; "
+            f"run 'repro analyze --pipeline {pipeline}' first"
+        ) from error
+    except ValueError as error:
+        raise AnalysisError(
+            f"unreadable report {json_path}: {error}"
+        ) from error
+    if document.get("schema") != REPORT_SCHEMA:
+        raise AnalysisError(
+            f"report {json_path} has schema {document.get('schema')!r}; "
+            f"this build reads schema {REPORT_SCHEMA}"
+        )
+    return document
+
+
+def render_markdown(document: dict[str, object]) -> str:
+    """Render one report payload as Markdown.
+
+    The paper-summary table renders first (it is what EXPERIMENTS.md
+    embeds); every other analyzer renders as a section of key findings.
+    """
+    lines = [f"# Analysis report — pipeline `{document.get('pipeline')}`", ""]
+    analyzers = document.get("analyzers", [])
+    summary = next(
+        (a for a in analyzers if a.get("analyzer_id") == "paper-summary"),
+        None,
+    )
+    if summary is not None:
+        lines.extend(_render_summary_table(summary))
+    for entry in analyzers:
+        if entry is summary:
+            continue
+        lines.extend(_render_analyzer(entry))
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _render_summary_table(entry: dict[str, object]) -> list[str]:
+    """The paper-vs-measured Markdown table of the summary analyzer."""
+    outputs = entry.get("outputs", {})
+    rows = outputs.get("rows", []) if isinstance(outputs, dict) else []
+    lines = [
+        "## Paper values vs archive",
+        "",
+        "| experiment | claim | paper | measured | ok |",
+        "|---|---|---|---|---|",
+    ]
+    for row in rows:
+        lines.append(
+            "| {experiment} | {claim} | {paper} | {measured} | {ok} |".format(
+                experiment=row.get("experiment_id", "?"),
+                claim=str(row.get("claim", "?")).replace("|", "/"),
+                paper=str(row.get("paper_value", "?")).replace("|", "/"),
+                measured=str(row.get("measured_value", "?")).replace("|", "/"),
+                ok="yes" if row.get("within_shape") else "NO",
+            )
+        )
+    if not rows:
+        lines.append("| - | no archived runs indexed yet | - | - | - |")
+    lines.append("")
+    missing = outputs.get("experiments_missing") if isinstance(outputs, dict) else None
+    if missing:
+        lines.append(
+            f"Experiments without archived runs: {', '.join(missing)}."
+        )
+        lines.append("")
+    return lines
+
+
+def _render_analyzer(entry: dict[str, object]) -> list[str]:
+    """One non-summary analyzer as a findings section."""
+    analyzer_id = str(entry.get("analyzer_id", "?"))
+    lines = [
+        f"## {analyzer_id} (v{entry.get('version', '?')}, "
+        f"{entry.get('num_inputs', 0)} input runs)",
+        "",
+    ]
+    outputs = entry.get("outputs", {})
+    if not isinstance(outputs, dict):
+        return lines
+    for key, value in sorted(outputs.items()):
+        lines.append(f"- **{key}**: {_render_value(value)}")
+    lines.append("")
+    return lines
+
+
+def _render_value(value: object, depth: int = 0) -> str:
+    """Compact one output value for the Markdown bullet list."""
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, dict):
+        if depth >= 1:
+            return "{…}"
+        inner = ", ".join(
+            f"{k}={_render_value(v, depth + 1)}" for k, v in sorted(value.items())
+        )
+        return f"{{{inner}}}"
+    if isinstance(value, list):
+        if len(value) > 6 or any(isinstance(v, dict) for v in value):
+            return f"[{len(value)} items]"
+        return "[" + ", ".join(_render_value(v, depth + 1) for v in value) + "]"
+    return str(value)

@@ -12,6 +12,14 @@ Subcommands::
     python -m repro archive --prune 50    # keep only the newest 50 runs
     python -m repro cache stats|clear     # result-cache garbage collection
 
+Analysis subcommands (the archive as a query surface)::
+
+    python -m repro index                 # refresh + summarise the run index
+    python -m repro query --experiment E7 --where pump_mw=2:8
+    python -m repro analyze --pipeline paper-summary
+    python -m repro report                # archive-backed if analyzed,
+                                          # live recompute otherwise
+
 Experiment-service subcommands (the always-on daemon)::
 
     python -m repro serve --workers 4     # boot the scheduler + JSON-RPC API
@@ -57,11 +65,30 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("device", help="print the device presets")
 
     report_parser = subparsers.add_parser(
-        "report", help="paper-vs-measured summary over all experiments"
+        "report",
+        help=(
+            "paper-vs-measured summary: archive-backed when an analysis "
+            "report exists, live recompute otherwise"
+        ),
     )
     report_parser.add_argument("--seed", type=int, default=0, help="RNG seed")
     report_parser.add_argument(
-        "--quick", action="store_true", help="reduced statistics"
+        "--quick", action="store_true", help="reduced statistics (live mode)"
+    )
+    report_parser.add_argument(
+        "--live",
+        action="store_true",
+        help="force a live recompute even if an analysis report exists",
+    )
+    report_parser.add_argument(
+        "--pipeline",
+        default="paper-summary",
+        help="analysis pipeline whose report to render (default paper-summary)",
+    )
+    report_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the deterministic JSON payload instead of Markdown",
     )
     _add_engine_options(report_parser)
 
@@ -164,6 +191,118 @@ def build_parser() -> argparse.ArgumentParser:
         "action", choices=["stats", "clear"], help="what to do with the cache"
     )
     cache_parser.add_argument(
+        "--keep",
+        type=int,
+        default=0,
+        metavar="N",
+        help="clear: retain the newest N entries (default 0: delete all)",
+    )
+    cache_parser.add_argument(
+        "--archive-dir",
+        default=None,
+        help="engine root directory (default $REPRO_RUNTIME_ROOT or ./repro-runs)",
+    )
+
+    index_parser = subparsers.add_parser(
+        "index", help="refresh the archive index and print its summary"
+    )
+    index_parser.add_argument(
+        "--rebuild",
+        action="store_true",
+        help="full rescan of every run directory (ignores the journal)",
+    )
+    index_parser.add_argument(
+        "--archive-dir",
+        default=None,
+        help="engine root directory (default $REPRO_RUNTIME_ROOT or ./repro-runs)",
+    )
+
+    query_parser = subparsers.add_parser(
+        "query", help="filter the archive index (no npz files are touched)"
+    )
+    query_parser.add_argument(
+        "--experiment", default=None, help="experiment id filter (E1..E9)"
+    )
+    query_parser.add_argument(
+        "--seed", type=int, default=None, help="seed filter"
+    )
+    query_parser.add_argument(
+        "--status",
+        default=None,
+        choices=["ok", "failed", "corrupt"],
+        help="status filter (default: every status)",
+    )
+    query_parser.add_argument(
+        "--where",
+        dest="where",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE|NAME=LO:HI",
+        help="parameter constraint, exact or inclusive range (repeatable)",
+    )
+    query_parser.add_argument(
+        "--latest",
+        action="store_true",
+        help="only the newest matching run",
+    )
+    query_parser.add_argument(
+        "--limit", type=int, default=None, help="cap the number of rows"
+    )
+    query_parser.add_argument(
+        "--metric",
+        dest="metrics",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="extra metric column to print (repeatable)",
+    )
+    query_parser.add_argument(
+        "--sweeps",
+        action="store_true",
+        help="group the matches into sweep families instead of listing runs",
+    )
+    query_parser.add_argument(
+        "--archive-dir",
+        default=None,
+        help="engine root directory (default $REPRO_RUNTIME_ROOT or ./repro-runs)",
+    )
+
+    analyze_parser = subparsers.add_parser(
+        "analyze",
+        help="run an analysis pipeline over the archive (cached, incremental)",
+    )
+    analyze_parser.add_argument(
+        "--pipeline",
+        default="paper-summary",
+        help="pipeline name (default paper-summary); see DESIGN.md",
+    )
+    analyze_parser.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute every analyzer even on an unchanged archive",
+    )
+    analyze_parser.add_argument(
+        "--submit",
+        action="store_true",
+        help="queue the pipeline as an analyze job on the experiment service",
+    )
+    analyze_parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="with --submit: block until the job finishes",
+    )
+    analyze_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="--wait timeout in seconds (default 600)",
+    )
+    analyze_parser.add_argument(
+        "--url",
+        default=None,
+        help="with --submit: service URL (default: discover from the root)",
+    )
+    analyze_parser.add_argument(
         "--archive-dir",
         default=None,
         help="engine root directory (default $REPRO_RUNTIME_ROOT or ./repro-runs)",
@@ -391,7 +530,38 @@ def command_device(args: argparse.Namespace) -> int:
 
 
 def command_report(args: argparse.Namespace) -> int:
-    """Run every experiment and print the paper-vs-measured table."""
+    """Print the paper-vs-measured summary.
+
+    Archive-backed by default: when ``repro analyze`` has produced a
+    report for ``--pipeline`` under this root, render it (instantly, no
+    numpy import).  ``--live`` — or the absence of any analysis report —
+    falls back to running every experiment through the engine.
+    """
+    if not args.live:
+        from repro.analysis.report import load_report, render_markdown
+        from repro.errors import AnalysisError
+
+        try:
+            document = load_report(args.archive_dir, args.pipeline)
+        except AnalysisError:
+            # Nothing analyzed yet.  Plain `repro report` falls through
+            # to the live recompute, but flags that only make sense for
+            # an analysis report must not be silently dropped.
+            if args.json or args.pipeline != "paper-summary":
+                raise ConfigurationError(
+                    f"no analysis report for pipeline {args.pipeline!r} "
+                    f"under this root; run 'repro analyze --pipeline "
+                    f"{args.pipeline}' first (or drop --json/--pipeline "
+                    "for a live recompute)"
+                ) from None
+        else:
+            if args.json:
+                import json
+
+                print(json.dumps(document, indent=2, sort_keys=True))
+            else:
+                print(render_markdown(document), end="")
+            return 0
     from repro.experiments.report import generate_report, render_report
 
     engine = _build_engine(args)
@@ -481,6 +651,8 @@ def command_archive(args: argparse.Namespace) -> int:
             f"pruned {len(removed)} run(s), kept newest {args.prune} "
             f"under {engine.runs_dir}"
         )
+        for run_id in removed:
+            print(f"  removed {run_id}")
         return 0
     if args.run_id is None:
         manifests = engine.list_runs()
@@ -540,12 +712,182 @@ def command_cache(args: argparse.Namespace) -> int:
     engine = RunEngine(root=args.archive_dir)
     cache = engine.cache  # always present: the engine defaults to use_cache
     if args.action == "clear":
-        removed = cache.clear()
-        print(f"cleared {removed} cache entr{'y' if removed == 1 else 'ies'}")
+        removed, freed = cache.clear(keep=args.keep)
+        kept = f", kept newest {args.keep}" if args.keep else ""
+        print(
+            f"cleared {removed} cache entr{'y' if removed == 1 else 'ies'} "
+            f"({freed} bytes freed{kept})"
+        )
+        # The analysis cache is derived from the same archive; GC both
+        # so a long-lived root cannot accumulate stale analyses.
+        from repro.analysis.pipelines import PipelineRunner
+
+        analyses = PipelineRunner(engine.root).clear_cache(keep=args.keep)
+        if analyses:
+            print(
+                f"cleared {len(analyses)} cached "
+                f"analys{'is' if len(analyses) == 1 else 'es'}"
+            )
         return 0
     stats = cache.stats()
     rows = [[key, stats[key]] for key in sorted(stats)]
     print(format_table(["field", "value"], rows, title="Result cache"))
+    return 0
+
+
+def command_index(args: argparse.Namespace) -> int:
+    """Refresh (or rebuild) the archive index and print its summary."""
+    from repro.analysis.index import ArchiveIndex
+    from repro.utils.tables import format_table
+
+    index = ArchiveIndex(args.archive_dir)
+    if args.rebuild:
+        index.rebuild()
+    else:
+        index.refresh()
+    stats = index.stats()
+    rows: list[list[object]] = [["runs indexed", stats["runs"]]]
+    for status, count in sorted(stats["by_status"].items()):
+        rows.append([f"status {status}", count])
+    for experiment, count in sorted(stats["by_experiment"].items()):
+        rows.append([experiment, count])
+    print(
+        format_table(
+            ["field", "count"],
+            rows,
+            title=f"Archive index ({stats['root']})",
+        )
+    )
+    return 0
+
+
+def command_query(args: argparse.Namespace) -> int:
+    """Filter the archive index and print matching runs (or sweep groups)."""
+    from repro.analysis.index import ArchiveIndex, parse_where
+    from repro.utils.tables import format_table
+
+    index = ArchiveIndex(args.archive_dir)
+    index.refresh()
+    if args.sweeps:
+        if not args.experiment:
+            raise ConfigurationError("--sweeps needs --experiment")
+        groups = index.sweep_groups(args.experiment)
+        if not groups:
+            print(f"no ok runs of {args.experiment.upper()} indexed")
+            return 0
+        rows = [
+            [
+                ",".join(group["axes"]) or "-",
+                group["seed"],
+                "yes" if group["quick"] else "no",
+                " ".join(
+                    f"{k}={_round(v)}" for k, v in sorted(group["fixed"].items())
+                )
+                or "-",
+                len(group["entries"]),
+            ]
+            for group in groups
+        ]
+        print(
+            format_table(
+                ["axes", "seed", "quick", "fixed params", "runs"],
+                rows,
+                title=f"Sweep families of {args.experiment.upper()}",
+            )
+        )
+        return 0
+    matches = index.query(
+        experiment=args.experiment,
+        seed=args.seed,
+        status=args.status,
+        where=parse_where(args.where),
+        limit=1 if args.latest else args.limit,
+    )
+    if not matches:
+        print("no matching runs in the index")
+        return 0
+    metric_names = args.metrics or _default_metric_columns(matches)
+    headers = (
+        ["run id", "experiment", "seed", "quick", "status", "params"]
+        + metric_names
+    )
+    rows = []
+    for entry in matches:
+        metrics = entry.get("metrics", {})
+        rows.append(
+            [
+                entry.get("run_id", "?"),
+                entry.get("experiment_id", "?"),
+                entry.get("seed", "?"),
+                "yes" if entry.get("quick") else "no",
+                entry.get("status", "?"),
+                " ".join(
+                    f"{k}={_round(v)}"
+                    for k, v in sorted(entry.get("params", {}).items())
+                )
+                or "-",
+            ]
+            + [_round(metrics.get(name, "")) for name in metric_names]
+        )
+    print(format_table(headers, rows, title=f"{len(matches)} matching run(s)"))
+    return 0
+
+
+def _default_metric_columns(entries: list[dict]) -> list[str]:
+    """Up to three metric columns shared by every matching entry."""
+    shared: set[str] | None = None
+    for entry in entries:
+        names = set(entry.get("metrics", {}) or {})
+        shared = names if shared is None else shared & names
+    return sorted(shared or [])[:3]
+
+
+def command_analyze(args: argparse.Namespace) -> int:
+    """Run (or submit) an analysis pipeline and write its report."""
+    if args.submit:
+        if args.force:
+            raise ConfigurationError(
+                "--force is local-only (the service always consults the "
+                "analysis cache); drop --submit, or bump the analyzer "
+                "version to invalidate its entries"
+            )
+        client = _service_client(args)
+        job = client.submit(analysis=args.pipeline)
+        tag = " (deduplicated)" if job.get("deduped") else ""
+        print(
+            f"job {job['job_id']} analyze {args.pipeline} "
+            f"→ {job['status']}{tag}"
+        )
+        if not args.wait:
+            return 0
+        finished = client.wait(job["job_id"], timeout=args.timeout)
+        print(_render_job(finished))
+        return 0 if finished.get("status") == "done" else 1
+    from repro.analysis.pipelines import PipelineRunner
+    from repro.analysis.report import write_report
+
+    runner = PipelineRunner(args.archive_dir)
+    result = runner.run(
+        args.pipeline,
+        force=args.force,
+        on_outcome=lambda outcome: print(
+            f"  {outcome.analyzer_id} v{outcome.version}: "
+            + (
+                "cached"
+                if outcome.cached
+                else f"computed in {outcome.duration_s:.2f}s"
+            )
+            + f" ({outcome.num_inputs} input runs)",
+            file=sys.stderr,
+        ),
+    )
+    json_path, md_path = write_report(runner.root, result)
+    print(
+        f"pipeline {args.pipeline}: {len(result.outcomes)} analyzer(s), "
+        f"{result.num_cached} cached"
+    )
+    print(f"report: {json_path}")
+    print(f"        {md_path}")
     return 0
 
 
@@ -715,8 +1057,11 @@ def command_cancel(args: argparse.Namespace) -> int:
 
 def _render_job(job: dict) -> str:
     """Multi-line detail view of one job document (used by status/submit)."""
+    target = job["experiment_id"]
+    if job.get("analysis_pipeline"):
+        target = f"{job['analysis_pipeline']}"
     lines = [
-        f"job {job['job_id']}: {job['kind']} {job['experiment_id']} "
+        f"job {job['job_id']}: {job['kind']} {target} "
         f"seed={job.get('seed', 0)}"
         + (" quick" if job.get("quick") else "")
         + f" → {job['status']}"
@@ -804,6 +1149,9 @@ _COMMANDS = {
     "sweep": command_sweep,
     "archive": command_archive,
     "cache": command_cache,
+    "index": command_index,
+    "query": command_query,
+    "analyze": command_analyze,
     "serve": command_serve,
     "submit": command_submit,
     "status": command_status,

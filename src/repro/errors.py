@@ -55,5 +55,20 @@ class ServiceError(ReproError, RuntimeError):
     """An experiment-service RPC failed (server-side error or bad reply)."""
 
 
+class ArchiveError(ReproError, RuntimeError):
+    """An archived run directory is missing, truncated or corrupt.
+
+    Raised instead of leaking ``KeyError``/``FileNotFoundError``/
+    ``BadZipFile`` when loading persisted datasets or records, so
+    callers can distinguish "this archive is damaged" from programming
+    errors.  The archive index marks such runs ``corrupt`` rather than
+    crashing its scan.
+    """
+
+
+class AnalysisError(ReproError, RuntimeError):
+    """An analysis pipeline or analyzer was misconfigured or failed."""
+
+
 class FitError(ReproError, RuntimeError):
     """A curve fit failed to converge or produced unphysical parameters."""

@@ -124,6 +124,16 @@ def _summarise(key: str, result: ExperimentResult) -> list[ClaimComparison]:
     raise KeyError(f"no summary mapping for experiment {key!r}")
 
 
+def summarise_result(key: str, result: ExperimentResult) -> list[ClaimComparison]:
+    """Public claim mapping for one result (archive-backed reports).
+
+    The analysis layer's ``paper-summary`` analyzer calls this on
+    results loaded from the archive, so the live and archive-backed
+    tables agree claim-for-claim.
+    """
+    return _summarise(key, result)
+
+
 def generate_report(
     seed: int = 0,
     quick: bool = True,

@@ -113,14 +113,35 @@ class ResultCache:
             self.path_for(key), json.dumps(entry, sort_keys=True)
         )
 
-    def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+    def clear(self, keep: int = 0) -> tuple[int, int]:
+        """Garbage-collect entries; returns ``(removed, bytes_freed)``.
+
+        ``keep`` retains the newest N entries by mtime (0 = delete
+        everything) and must be >= 0 — the cache-GC validation contract
+        shared with ``repro archive --prune``.
+        """
+        from repro.errors import ConfigurationError
+
+        if keep < 0:
+            raise ConfigurationError(
+                f"cache clear needs --keep N >= 0, got {keep}"
+            )
         removed = 0
+        freed = 0
         if self.root.exists():
-            for path in self.root.glob("*.json"):
-                path.unlink()
+            entries = sorted(
+                self.root.glob("*.json"),
+                key=lambda p: p.stat().st_mtime,
+                reverse=True,
+            )
+            for path in entries[keep:]:
+                try:
+                    freed += path.stat().st_size
+                except OSError:
+                    pass
+                path.unlink(missing_ok=True)
                 removed += 1
-        return removed
+        return removed, freed
 
     def stats(self) -> dict[str, object]:
         """Entry count, on-disk bytes, schema and this session's hit rate."""

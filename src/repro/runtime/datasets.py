@@ -11,15 +11,22 @@ from __future__ import annotations
 
 import json
 import pathlib
+import zipfile
 from collections.abc import Iterator
 
-from repro.errors import ConfigurationError
+from repro.errors import ArchiveError, ConfigurationError
 from repro.experiments.base import ExperimentResult
 from repro.runtime.records import jsonify
 
 #: File names used inside a run directory.
 DATASETS_FILE = "datasets.json"
 ARRAYS_FILE = "arrays.npz"
+
+#: Reserved key inside ``datasets.json`` listing which dataset keys were
+#: archived into ``arrays.npz`` — lets :meth:`DatasetStore.load` (and the
+#: archive index) detect a deleted or truncated npz instead of silently
+#: returning a store with the arrays missing.
+ARRAYS_META_KEY = "__arrays__"
 
 _MISSING = object()
 
@@ -35,6 +42,11 @@ class DatasetStore:
         """Bind ``key`` to ``value``; ``archive=False`` keeps it transient."""
         if not key:
             raise ConfigurationError("dataset key must be non-empty")
+        if key == ARRAYS_META_KEY:
+            raise ConfigurationError(
+                f"dataset key {ARRAYS_META_KEY!r} is reserved for the "
+                "archive format"
+            )
         self._data[key] = value
         self._archived[key] = bool(archive)
 
@@ -85,6 +97,7 @@ class DatasetStore:
                 plain[key] = jsonify(value)
         from repro.utils.io import atomic_write_bytes, atomic_write_text
 
+        plain[ARRAYS_META_KEY] = sorted(arrays)
         atomic_write_text(
             directory / DATASETS_FILE,
             json.dumps(plain, indent=2, sort_keys=True),
@@ -102,22 +115,61 @@ class DatasetStore:
 
     @classmethod
     def load(cls, directory: str | pathlib.Path) -> "DatasetStore":
-        """Rebuild a store from a run directory written by :meth:`save`."""
+        """Rebuild a store from a run directory written by :meth:`save`.
+
+        Raises :class:`repro.errors.ArchiveError` — never a bare
+        ``KeyError``/``FileNotFoundError``/``BadZipFile`` — when the
+        directory is missing, ``datasets.json`` is unreadable, or
+        ``arrays.npz`` is absent/corrupt while the datasets manifest
+        says arrays were archived.
+        """
         directory = pathlib.Path(directory)
+        if not directory.is_dir():
+            raise ArchiveError(f"no archived run directory {directory}")
         store = cls()
         plain_path = directory / DATASETS_FILE
-        if plain_path.exists():
-            for key, value in json.loads(
-                plain_path.read_text(encoding="utf-8")
-            ).items():
-                store.set_dataset(key, value)
+        if not plain_path.exists():
+            raise ArchiveError(
+                f"run directory {directory} has no {DATASETS_FILE}; "
+                "it was not written by DatasetStore.save or was truncated"
+            )
+        try:
+            plain = json.loads(plain_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            raise ArchiveError(
+                f"corrupt {DATASETS_FILE} in {directory}: {error}"
+            ) from error
+        if not isinstance(plain, dict):
+            raise ArchiveError(
+                f"corrupt {DATASETS_FILE} in {directory}: expected an "
+                f"object, got {type(plain).__name__}"
+            )
+        expected_arrays = [str(k) for k in plain.pop(ARRAYS_META_KEY, []) or []]
+        for key, value in plain.items():
+            store.set_dataset(key, value)
         arrays_path = directory / ARRAYS_FILE
+        if expected_arrays and not arrays_path.exists():
+            raise ArchiveError(
+                f"run directory {directory} is missing {ARRAYS_FILE} "
+                f"(datasets manifest expects arrays {expected_arrays})"
+            )
         if arrays_path.exists():
             import numpy as np
 
-            with np.load(arrays_path) as archive:
-                for key in archive.files:
-                    store.set_dataset(key, archive[key])
+            try:
+                with np.load(arrays_path) as archive:
+                    for key in archive.files:
+                        store.set_dataset(key, archive[key])
+            except (OSError, ValueError, EOFError, zipfile.BadZipFile) as error:
+                raise ArchiveError(
+                    f"corrupt {ARRAYS_FILE} in {directory}: {error}"
+                ) from error
+        missing = [key for key in expected_arrays if key not in store]
+        if missing:
+            raise ArchiveError(
+                f"{ARRAYS_FILE} in {directory} is missing archived "
+                f"arrays {missing}"
+            )
         return store
 
 

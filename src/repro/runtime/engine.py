@@ -203,6 +203,11 @@ class RunEngine:
         Serve repeated specs from the content-addressed result cache.
     archive:
         Persist each run's datasets/result/manifest under ``runs/``.
+    index:
+        Maintain the archive index incrementally: every archived run
+        (success or failure) appends one journal op consumed by
+        :class:`repro.analysis.index.ArchiveIndex`.  Ignored when
+        ``archive`` is off.
     max_workers:
         Worker processes for multi-spec batches (1 = in-process serial).
     progress:
@@ -215,6 +220,7 @@ class RunEngine:
         root: str | pathlib.Path | None = None,
         use_cache: bool = True,
         archive: bool = True,
+        index: bool = True,
         max_workers: int = 1,
         progress: Callable[[str], None] | None = None,
     ) -> None:
@@ -228,6 +234,7 @@ class RunEngine:
             ResultCache(self.root / "cache") if use_cache else None
         )
         self.archive = archive
+        self.index = archive and index
         self.max_workers = max_workers
         self.progress = progress
 
@@ -523,7 +530,9 @@ class RunEngine:
 
         Returns the removed run ids, oldest first.  The result cache is
         untouched — pruning reclaims archive disk without forgetting
-        results (``repro cache clear`` handles the cache side).
+        results (``repro cache clear`` handles the cache side).  Pruned
+        runs are tombstoned out of the archive index so it never holds
+        dangling entries.
         """
         if keep < 0:
             raise ConfigurationError(f"--prune needs N >= 0, got {keep}")
@@ -534,6 +543,11 @@ class RunEngine:
                 continue
             shutil.rmtree(self.runs_dir / run_id, ignore_errors=True)
             removed.append(run_id)
+        if removed and self.index:
+            from repro.analysis.index import journal_remove
+
+            for run_id in removed:
+                journal_remove(self.root, run_id)
         return removed
 
     # ------------------------------------------------------------------
@@ -631,6 +645,15 @@ class RunEngine:
             status="failed",
             error=dict(failure),
         )
+        self._index_upsert(
+            spec,
+            {},
+            "failed",
+            duration_s,
+            cached=False,
+            run_dir=run_dir,
+            error_type=str(failure.get("type", "?")),
+        )
         return run_dir
 
     def _archive(
@@ -650,7 +673,47 @@ class RunEngine:
         self._write_manifest(
             run_dir, spec, duration_s=duration_s, cached=cached, status="ok"
         )
+        self._index_upsert(
+            spec, result.metrics, "ok", duration_s, cached, run_dir
+        )
         return run_dir
+
+    def _index_upsert(
+        self,
+        spec: RunSpec,
+        metrics: Mapping[str, object],
+        status: str,
+        duration_s: float,
+        cached: bool,
+        run_dir: pathlib.Path,
+        error_type: str | None = None,
+    ) -> None:
+        """Append one archive-index journal op for a just-archived run.
+
+        O(1) per run (one fsynced line) so archiving stays flat; index
+        maintenance must never break a run, so failures only surface
+        through the progress callback.
+        """
+        if not self.index:
+            return
+        from repro.analysis.index import (
+            entry_from_outcome,
+            journal_append,
+            payload_signature,
+        )
+
+        entry = entry_from_outcome(
+            spec, metrics, status, duration_s, cached, error_type=error_type
+        )
+        try:
+            entry["manifest_mtime_ns"] = (
+                (run_dir / MANIFEST_FILE).stat().st_mtime_ns
+            )
+            entry["payload_sig"] = payload_signature(run_dir)
+            journal_append(self.root, entry)
+        except OSError as error:  # index is derived state; the run is safe
+            if self.progress is not None:
+                self.progress(f"index update failed for {spec.run_id()}: {error}")
 
     def _write_manifest(
         self,

@@ -35,7 +35,12 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.errors import ConfigurationError, ReproError, ServiceError
+from repro.errors import (
+    AnalysisError,
+    ConfigurationError,
+    ReproError,
+    ServiceError,
+)
 from repro.runtime.engine import RunEngine, default_root
 from repro.service.scheduler import Scheduler
 from repro.service.store import JobStore
@@ -202,23 +207,36 @@ class ExperimentService:
 
     def _rpc_submit(
         self,
-        experiment: str,
+        experiment: str = "",
         seed: int = 0,
         quick: bool = False,
         params: dict[str, object] | None = None,
         scan: dict[str, object] | None = None,
+        analysis: str | None = None,
         priority: int = 0,
         pipeline: str = "main",
         dedupe: bool = True,
     ) -> dict[str, object]:
-        """Enqueue a run/sweep after registry validation of the spec."""
-        self._validate(experiment, params, scan)
+        """Enqueue a run/sweep/analysis after validating the submission."""
+        if analysis:
+            # Pipeline names are validated in the daemon so a typo fails
+            # the RPC, mirroring experiment/override validation below.
+            from repro.analysis.pipelines import get_pipeline
+
+            get_pipeline(analysis)
+        else:
+            if not experiment:
+                raise ConfigurationError(
+                    "submit needs an experiment id (or an analysis pipeline)"
+                )
+            self._validate(experiment, params, scan)
         job, deduped = self.store.submit(
             experiment,
             seed=seed,
             quick=quick,
             params=params,
             scan=scan,
+            analysis=analysis,
             priority=priority,
             pipeline=pipeline,
             dedupe=dedupe,
@@ -262,9 +280,24 @@ class ExperimentService:
     def _rpc_result(
         self, job_id: int, timeout: float = 0.0
     ) -> dict[str, object]:
-        """Long-poll one job until terminal (or timeout); returns it."""
+        """Long-poll one job until terminal (or timeout); returns it.
+
+        Completed analyze jobs attach their pipeline's persisted report
+        payload as ``report`` — byte-identical to the JSON artifact
+        ``repro analyze`` writes, so service and CLI consumers see the
+        same document.
+        """
         job = self.store.wait_job(job_id, min(timeout, MAX_POLL_S))
         document: dict[str, object] = {"job": job.to_dict()}
+        if job.kind == "analyze" and job.status == "done":
+            try:
+                from repro.analysis.report import load_report
+
+                document["report"] = load_report(
+                    self.root, str(job.analysis_pipeline)
+                )
+            except ReproError:
+                pass  # report pruned between completion and fetch
         if job.run_ids:
             try:
                 from repro.runtime import records
@@ -382,7 +415,7 @@ class _RPCHandler(BaseHTTPRequestHandler):
             self._reply(
                 404, _rpc_error(request_id, RPC_METHOD_NOT_FOUND, str(error))
             )
-        except (ConfigurationError, TypeError) as error:
+        except (AnalysisError, ConfigurationError, TypeError) as error:
             # TypeError: params that do not match the method signature.
             self._reply(
                 400, _rpc_error(request_id, RPC_INVALID_PARAMS, str(error))

@@ -120,16 +120,18 @@ class ServiceClient:
     # ------------------------------------------------------------------
     def submit(
         self,
-        experiment: str,
+        experiment: str = "",
         seed: int = 0,
         quick: bool = False,
         params: dict[str, object] | None = None,
         scan: dict[str, object] | None = None,
+        analysis: str | None = None,
         priority: int = 0,
         pipeline: str = "main",
         dedupe: bool = True,
     ) -> dict[str, object]:
-        """Enqueue a run (or sweep, with ``scan``); returns the job doc.
+        """Enqueue a run (or sweep with ``scan``, or an analyze job with
+        ``analysis``); returns the job doc.
 
         The returned document gains a ``deduped`` key marking whether
         the submission coalesced onto the cache or a live twin job.
@@ -142,6 +144,7 @@ class ServiceClient:
                 "quick": quick,
                 "params": params or {},
                 "scan": scan,
+                "analysis": analysis,
                 "priority": priority,
                 "pipeline": pipeline,
                 "dedupe": dedupe,

@@ -55,6 +55,11 @@ _TRANSITIONS = {
 #: Job kinds.
 KIND_RUN = "run"
 KIND_SWEEP = "sweep"
+KIND_ANALYZE = "analyze"
+
+#: The placeholder experiment id carried by analyze-kind jobs (they
+#: target an analysis pipeline, not a driver).
+ANALYSIS_EXPERIMENT = "ANALYSIS"
 
 
 @dataclasses.dataclass
@@ -68,6 +73,9 @@ class Job:
     quick: bool = False
     params: dict[str, object] = dataclasses.field(default_factory=dict)
     scan: dict[str, object] | None = None
+    #: Analyze-kind jobs: the analysis pipeline name to run (see
+    #: :data:`repro.analysis.pipelines.PIPELINES`).
+    analysis_pipeline: str | None = None
     pipeline: str = "main"
     priority: int = 0
     status: str = PENDING
@@ -88,15 +96,23 @@ class Job:
 
     def __post_init__(self) -> None:
         """Validate kind/scan consistency and normalise the id fields."""
-        if self.kind not in (KIND_RUN, KIND_SWEEP):
+        if self.kind not in (KIND_RUN, KIND_SWEEP, KIND_ANALYZE):
             raise ConfigurationError(
-                f"job kind must be '{KIND_RUN}' or '{KIND_SWEEP}', "
-                f"got {self.kind!r}"
+                f"job kind must be '{KIND_RUN}', '{KIND_SWEEP}' or "
+                f"'{KIND_ANALYZE}', got {self.kind!r}"
             )
         if self.kind == KIND_SWEEP and not self.scan:
             raise ConfigurationError("sweep jobs need a scan description")
-        if self.kind == KIND_RUN and self.scan:
-            raise ConfigurationError("run jobs must not carry a scan")
+        if self.kind != KIND_SWEEP and self.scan:
+            raise ConfigurationError(f"{self.kind} jobs must not carry a scan")
+        if self.kind == KIND_ANALYZE and not self.analysis_pipeline:
+            raise ConfigurationError(
+                "analyze jobs need an analysis pipeline name"
+            )
+        if self.kind != KIND_ANALYZE and self.analysis_pipeline:
+            raise ConfigurationError(
+                f"{self.kind} jobs must not carry an analysis pipeline"
+            )
         self.experiment_id = self.experiment_id.upper()
         if not self.pipeline:
             raise ConfigurationError("pipeline name must be non-empty")
@@ -108,7 +124,8 @@ class Job:
         """The engine :class:`RunSpec` of a run-kind job."""
         if self.kind != KIND_RUN:
             raise ConfigurationError(
-                f"job {self.job_id} is a sweep; expand its scan instead"
+                f"job {self.job_id} is a {self.kind} job and has no "
+                "single-run spec"
             )
         return RunSpec.make(
             self.experiment_id,
@@ -133,6 +150,8 @@ class Job:
     def label(self) -> str:
         """One-line description used in progress and log messages."""
         parts = [f"#{self.job_id}", self.kind, self.experiment_id]
+        if self.analysis_pipeline:
+            parts.append(self.analysis_pipeline)
         if self.priority:
             parts.append(f"prio={self.priority}")
         if self.pipeline != "main":

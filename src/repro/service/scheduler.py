@@ -33,7 +33,14 @@ from repro.runtime.engine import (
     _execute_safe,
     _failure_from,
 )
-from repro.service.jobs import CANCELLED, DONE, FAILED, KIND_RUN, Job
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    KIND_ANALYZE,
+    KIND_RUN,
+    Job,
+)
 from repro.service.store import JobStore
 
 
@@ -154,6 +161,8 @@ class Scheduler:
         try:
             if job.kind == KIND_RUN:
                 self._run_single(job)
+            elif job.kind == KIND_ANALYZE:
+                self._run_analyze(job)
             else:
                 self._run_sweep(job)
         except Exception as error:  # noqa: BLE001 - job-level isolation
@@ -237,6 +246,50 @@ class Scheduler:
                 job, index + 1, total, run_id=outcome.run_id, cached=cached
             )
         self.store.finish(job, DONE, metrics=last_metrics)
+
+    def _run_analyze(self, job: Job) -> None:
+        """Analyze-kind job: run a pipeline, streaming per-analyzer progress.
+
+        Executes on the claim thread: the analysis cache makes repeat
+        pipelines as cheap as cache-hit runs, and fresh analyses are
+        dominated by JSON reads rather than Monte-Carlo compute.
+        Cancellation is honoured between analyzers, mirroring the
+        sweep-point boundary semantics.
+        """
+        from repro.analysis.pipelines import PipelineRunner, get_pipeline
+        from repro.analysis.report import write_report
+
+        if job.cancel_requested:
+            self.store.finish(job, CANCELLED)
+            return
+        name = str(job.analysis_pipeline)
+        total = len(get_pipeline(name))
+        runner = PipelineRunner(self.engine.root)
+        progress = {"done": 0}
+
+        def on_outcome(outcome) -> None:
+            progress["done"] += 1
+            self.store.update_progress(
+                job, progress["done"], total, cached=outcome.cached
+            )
+
+        result = runner.run(
+            name,
+            on_outcome=on_outcome,
+            should_stop=lambda: job.cancel_requested,
+        )
+        if not result.completed:
+            self.store.finish(job, CANCELLED)
+            return
+        write_report(self.engine.root, result)
+        self.store.finish(
+            job,
+            DONE,
+            metrics={
+                "analyzers": float(len(result.outcomes)),
+                "cached_analyzers": float(result.num_cached),
+            },
+        )
 
     def _compute(self, spec: RunSpec) -> RunOutcome:
         """Execute one cache miss (process pool or in-thread)."""

@@ -41,8 +41,10 @@ from collections.abc import Iterable, Mapping
 from repro.errors import ConfigurationError
 from repro.runtime.engine import RunEngine, RunSpec, default_root
 from repro.service.jobs import (
+    ANALYSIS_EXPERIMENT,
     CANCELLED,
     DONE,
+    KIND_ANALYZE,
     KIND_RUN,
     KIND_SWEEP,
     PENDING,
@@ -175,20 +177,32 @@ class JobStore:
         quick: bool = False,
         params: Mapping[str, object] | None = None,
         scan: Mapping[str, object] | None = None,
+        analysis: str | None = None,
         priority: int = 0,
         pipeline: str = "main",
         dedupe: bool = True,
         engine: RunEngine | None = None,
     ) -> tuple[Job, bool]:
-        """Enqueue one run or sweep; returns ``(job, deduplicated)``.
+        """Enqueue one run, sweep or analysis; returns ``(job, deduplicated)``.
 
         With ``dedupe`` (the default) a run submission coalesces onto an
         identical live job, and — when ``engine`` is given — a spec
         already in the result cache completes instantly without ever
         entering the queue.  ``scan`` selects a sweep job and must be a
-        ``Scan.describe()`` document.
+        ``Scan.describe()`` document; ``analysis`` selects an analyze
+        job carrying a pipeline name (analyze submissions dedupe onto a
+        live analyze job of the same pipeline — the analysis layer's
+        own content-addressed cache handles result reuse).
         """
-        kind = KIND_SWEEP if scan else KIND_RUN
+        if analysis and scan:
+            raise ConfigurationError(
+                "a submission is either a scan sweep or an analysis, not both"
+            )
+        if analysis:
+            kind = KIND_ANALYZE
+            experiment_id = ANALYSIS_EXPERIMENT
+        else:
+            kind = KIND_SWEEP if scan else KIND_RUN
         # Cache consult happens *outside* the store lock: a hit on a
         # pruned run re-archives it (numpy + npz writes), and that disk
         # work must not stall claims and long-polls.  The cache is
@@ -209,6 +223,7 @@ class JobStore:
                 quick=bool(quick),
                 params=dict(params or {}),
                 scan=dict(scan) if scan else None,
+                analysis_pipeline=analysis or None,
                 pipeline=pipeline,
                 priority=int(priority),
                 submitted_unix=time.time(),
@@ -221,6 +236,10 @@ class JobStore:
                     job.job_id = self._allocate_id()
                     self._serve_from_cache(job, outcome)
                     return job, True
+            if dedupe and kind == KIND_ANALYZE:
+                twin = self._live_analysis_twin(job)
+                if twin is not None:
+                    return twin, True
             job.job_id = self._allocate_id()
             self._jobs[job.job_id] = job
             self._persist(job, "submitted")
@@ -253,6 +272,22 @@ class JobStore:
             if other.kind != KIND_RUN or other.is_terminal:
                 continue
             if other.fingerprint() == fingerprint:
+                return other
+        return None
+
+    def _live_analysis_twin(self, job: Job) -> Job | None:
+        """A *pending* analyze job of the same pipeline, if any.
+
+        Only pending twins coalesce: a running analyze job already
+        snapshotted the archive index, so a submission arriving after
+        new runs were archived must queue its own job or it would be
+        answered with a stale report.  (Run-kind dedupe has no such
+        hazard — its fingerprint fully determines the result.)
+        """
+        for other in self._jobs.values():
+            if other.kind != KIND_ANALYZE or other.status != PENDING:
+                continue
+            if other.analysis_pipeline == job.analysis_pipeline:
                 return other
         return None
 

@@ -1,0 +1,270 @@
+"""Analyzer pipelines: caching, digests, reports, concrete analyzers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.index import ArchiveIndex
+from repro.analysis.pipelines import PIPELINES, PipelineRunner, get_pipeline
+from repro.analysis.report import (
+    build_report,
+    load_report,
+    render_markdown,
+    write_report,
+)
+from repro.errors import AnalysisError
+from repro.experiments.base import ExperimentResult
+from repro.runtime import records
+from repro.runtime.engine import RunEngine, RunSpec
+
+from tests.analysis.test_index import archive_run
+
+
+def archive_e5(engine, pump_mw: float, car: float, seed: int = 0) -> None:
+    """One synthetic E5 run with the metrics car-power consumes."""
+    archive_run(
+        engine,
+        "E5",
+        seed=seed,
+        params={"pump_mw": pump_mw},
+        metrics={"pump_total_mw": pump_mw, "car": car, "car_error": 1.0},
+    )
+
+
+def archive_e8(engine, seed: int = 0, visibility: float = 0.9) -> RunSpec:
+    """One synthetic E8 run whose series is a clean (1+cos 2φ)² fringe."""
+    phases = np.round(np.linspace(0.0, 2.0 * np.pi, 24, endpoint=False), 3)
+    counts = 100.0 * (1.0 + visibility * np.cos(2.0 * phases)) ** 2
+    result = ExperimentResult(
+        experiment_id="E8",
+        title="synthetic four-photon fringe",
+        paper_claim="fixture",
+        headers=["phi", "counts"],
+        rows=[[float(p), float(c)] for p, c in zip(phases, counts)],
+        metrics={"visibility": visibility},
+        series=[("four-fold counts", list(phases), list(counts))],
+    )
+    spec = RunSpec.make("E8", seed=seed)
+    engine.complete_record(spec, records.to_record(result), 0.0)
+    return spec
+
+
+@pytest.fixture
+def engine(tmp_path):
+    return RunEngine(root=tmp_path / "root")
+
+
+class TestPipelineRegistry:
+    def test_known_pipelines(self):
+        assert set(PIPELINES) >= {
+            "visibility",
+            "car",
+            "tomography",
+            "paper-summary",
+        }
+        assert get_pipeline("visibility") == ("fringe-visibility",)
+
+    def test_unknown_pipeline_reports_available(self):
+        with pytest.raises(AnalysisError, match="paper-summary"):
+            get_pipeline("nope")
+
+
+class TestCaching:
+    def test_unchanged_archive_is_full_cache_hit(self, engine):
+        for mw, car in ((2.0, 11.0), (4.0, 7.0), (8.0, 4.0)):
+            archive_e5(engine, mw, car)
+        runner = PipelineRunner(engine.root)
+        first = runner.run("car")
+        assert [o.cached for o in first.outcomes] == [False]
+        second = PipelineRunner(engine.root).run("car")
+        assert [o.cached for o in second.outcomes] == [True]
+        assert second.num_cached == len(second.outcomes)
+        assert [o.outputs for o in second.outcomes] == [
+            o.outputs for o in first.outcomes
+        ]
+        assert [o.digest for o in second.outcomes] == [
+            o.digest for o in first.outcomes
+        ]
+
+    def test_new_run_changes_digest_and_recomputes(self, engine):
+        archive_e5(engine, 2.0, 11.0)
+        runner = PipelineRunner(engine.root)
+        first = runner.run("car")
+        archive_e5(engine, 4.0, 7.0)
+        second = PipelineRunner(engine.root).run("car")
+        assert second.outcomes[0].digest != first.outcomes[0].digest
+        assert not second.outcomes[0].cached
+
+    def test_force_recomputes_but_digest_is_stable(self, engine):
+        archive_e5(engine, 2.0, 11.0)
+        runner = PipelineRunner(engine.root)
+        first = runner.run("car")
+        forced = PipelineRunner(engine.root).run("car", force=True)
+        assert not forced.outcomes[0].cached
+        assert forced.outcomes[0].digest == first.outcomes[0].digest
+
+    def test_empty_archive_is_cacheable(self, engine):
+        first = PipelineRunner(engine.root).run("car")
+        assert not first.outcomes[0].cached
+        second = PipelineRunner(engine.root).run("car")
+        assert second.outcomes[0].cached
+
+    def test_should_stop_cancels_between_analyzers(self, engine):
+        result = PipelineRunner(engine.root).run(
+            "paper-summary", should_stop=lambda: True
+        )
+        assert not result.completed
+        assert result.outcomes == []
+
+    def test_clear_cache_validates_and_reports(self, engine):
+        runner = PipelineRunner(engine.root)
+        runner.run("car")
+        with pytest.raises(AnalysisError, match=">= 0"):
+            runner.clear_cache(keep=-1)
+        removed = runner.clear_cache()
+        assert len(removed) == 1
+
+
+class TestConcreteAnalyzers:
+    def test_car_power_fit_recovers_inverse_power_law(self, engine):
+        # Fabricate CAR(P) = 20/P + 1 exactly; the fit must recover it.
+        for mw in (1.0, 2.0, 4.0, 8.0):
+            archive_e5(engine, mw, 20.0 / mw + 1.0)
+        outcome = PipelineRunner(engine.root).run("car").outcomes[0]
+        fit = outcome.outputs["fit"]
+        assert fit["a"] == pytest.approx(20.0, abs=1e-6)
+        assert fit["b"] == pytest.approx(1.0, abs=1e-6)
+        assert fit["car_at_2mw"] == pytest.approx(11.0, abs=1e-6)
+        assert outcome.outputs["car_at_2mw_measured"] == pytest.approx(11.0)
+
+    def test_car_power_without_enough_powers_skips_fit(self, engine):
+        archive_e5(engine, 2.0, 11.0)
+        outcome = PipelineRunner(engine.root).run("car").outcomes[0]
+        assert outcome.outputs["fit"] is None
+        assert outcome.outputs["num_runs"] == 1
+
+    def test_fringe_visibility_refits_synthetic_e8(self, engine):
+        archive_e8(engine, visibility=0.9)
+        outcome = PipelineRunner(engine.root).run("visibility").outcomes[0]
+        four = outcome.outputs["four_photon"]
+        assert four["num_runs"] == 1
+        assert four["two_x_frequency_confirmed"] is True
+        run = four["runs"][0]
+        assert run["dominant_harmonic"] == 2
+        # Extrema visibility of (1+v cos)²: (max-min)/(max+min)
+        v = 0.9
+        expected = ((1 + v) ** 2 - (1 - v) ** 2) / ((1 + v) ** 2 + (1 - v) ** 2)
+        assert run["refit_visibility"] == pytest.approx(expected, abs=1e-3)
+
+    def test_fringe_visibility_aggregates_e7_metrics(self, engine):
+        for seed, vis in ((0, 0.82), (1, 0.86)):
+            archive_run(
+                engine,
+                "E7",
+                seed=seed,
+                metrics={"visibility_mean": vis, "visibility_min": vis - 0.02},
+            )
+        outcome = PipelineRunner(engine.root).run("visibility").outcomes[0]
+        two = outcome.outputs["two_photon"]
+        assert two["num_runs"] == 2
+        assert two["visibility_mean"] == pytest.approx(0.84)
+        assert two["paper_visibility"] == 0.83
+
+    def test_series_less_e8_run_degrades_to_skip(self, engine):
+        # An ok-status E8 run without the fringe series (foreign or
+        # hand-written archive) is reported as skipped, not crashed on.
+        archive_run(engine, "E8", metrics={"visibility": 0.9})
+        outcome = PipelineRunner(engine.root).run("visibility").outcomes[0]
+        four = outcome.outputs["four_photon"]
+        run = four["runs"][0]
+        assert run["refit_visibility"] is None
+        assert "skipped" in run
+        # Unevaluated, not failed: the 2x-frequency verdict stays None.
+        assert four["two_x_frequency_confirmed"] is None
+
+    def test_corrupt_runs_are_not_analyzer_inputs(self, engine):
+        spec = archive_e8(engine)
+        (engine.runs_dir / spec.run_id() / "arrays.npz").write_bytes(b"junk")
+        outcome = PipelineRunner(engine.root).run("visibility").outcomes[0]
+        # The corrupt run is filtered by status, not crashed on.
+        assert outcome.outputs["four_photon"]["num_runs"] == 0
+
+
+@pytest.mark.slow
+class TestTomographyBootstrap:
+    def test_refit_matches_archived_fidelity_with_ci(self, engine):
+        """The analyzer's RNG-tree replay reproduces the archived Bell
+        fidelity exactly, and the bootstrap CI brackets it."""
+        engine.run("E9", seed=7, quick=True)
+        outcome = PipelineRunner(engine.root).run("tomography").outcomes[0]
+        bell = outcome.outputs["bell"]
+        assert bell["refit_fidelity"] == pytest.approx(
+            bell["archived_fidelity"], abs=1e-9
+        )
+        lo68, hi68 = bell["ci68"]
+        lo95, hi95 = bell["ci95"]
+        assert lo95 <= lo68 < hi68 <= hi95
+        assert lo95 <= bell["bootstrap_mean"] <= hi95
+        assert bell["bootstrap_std"] > 0
+        assert (
+            outcome.outputs["four_photon"]["archived_fidelity"] is not None
+        )
+        assert outcome.outputs["paper_four_photon_fidelity"] == 0.64
+
+
+class TestReports:
+    def test_report_payload_is_deterministic(self, engine):
+        archive_e5(engine, 2.0, 11.0)
+        first = PipelineRunner(engine.root).run("car")
+        second = PipelineRunner(engine.root).run("car")  # cache-served
+        assert build_report(first) == build_report(second)
+        json_path, md_path = write_report(engine.root, first)
+        payload_one = json_path.read_bytes()
+        write_report(engine.root, second)
+        assert json_path.read_bytes() == payload_one
+        assert md_path.exists()
+
+    def test_load_report_round_trip_and_missing(self, engine):
+        archive_e5(engine, 2.0, 11.0)
+        result = PipelineRunner(engine.root).run("car")
+        write_report(engine.root, result)
+        assert load_report(engine.root, "car") == build_report(result)
+        with pytest.raises(AnalysisError, match="repro analyze"):
+            load_report(engine.root, "visibility")
+
+    def test_markdown_renders_summary_table(self, engine):
+        archive_run(
+            engine,
+            "E7",
+            metrics={
+                "visibility_mean": 0.86,
+                "visibility_min": 0.84,
+                "s_min": 2.3,
+                "channels_violating": 5.0,
+                "num_channels": 5.0,
+            },
+        )
+        result = PipelineRunner(engine.root).run("paper-summary")
+        document = build_report(result)
+        markdown = render_markdown(document)
+        assert "| experiment |" in markdown
+        assert "E7" in markdown
+        assert "paper-summary" in markdown
+
+
+class TestIndexIntegration:
+    def test_runner_refreshes_index_before_selecting(self, engine):
+        runner = PipelineRunner(engine.root)
+        runner.run("car")
+        archive_e5(engine, 2.0, 11.0)
+        # The same runner object picks up the new run on its next run().
+        outcome = runner.run("car").outcomes[0]
+        assert outcome.outputs["num_runs"] == 1
+
+    def test_runner_accepts_preloaded_index(self, engine):
+        archive_e5(engine, 2.0, 11.0)
+        index = ArchiveIndex(engine.root).refresh()
+        runner = PipelineRunner(engine.root, index=index)
+        outcome = runner.run("car", refresh=False).outcomes[0]
+        assert outcome.outputs["num_runs"] == 1

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ArchiveError, ConfigurationError
 from repro.runtime.cache import ResultCache, fingerprint
 from repro.runtime.datasets import DatasetStore, store_from_result
 
@@ -55,6 +55,58 @@ class TestDatasetStore:
         assert loaded.get_dataset("metrics/rate_hz") == 21.0
 
 
+class TestDatasetStoreLoadHardening:
+    """Damaged run directories surface as ArchiveError, never KeyError
+    or FileNotFoundError leakage (ISSUE 5 satellite)."""
+
+    def _saved(self, tmp_path):
+        store = DatasetStore()
+        store.set_dataset("metrics/car", 13.1)
+        store.set_dataset("series/fringe/x", np.linspace(0, 1, 4))
+        return store.save(tmp_path)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(ArchiveError, match="no archived run"):
+            DatasetStore.load(tmp_path / "nope")
+
+    def test_missing_datasets_json(self, tmp_path):
+        directory = self._saved(tmp_path)
+        (directory / "datasets.json").unlink()
+        with pytest.raises(ArchiveError, match="datasets.json"):
+            DatasetStore.load(directory)
+
+    def test_corrupt_datasets_json(self, tmp_path):
+        directory = self._saved(tmp_path)
+        (directory / "datasets.json").write_text("{torn", encoding="utf-8")
+        with pytest.raises(ArchiveError, match="corrupt datasets.json"):
+            DatasetStore.load(directory)
+
+    def test_deleted_npz_with_expected_arrays(self, tmp_path):
+        directory = self._saved(tmp_path)
+        (directory / "arrays.npz").unlink()
+        with pytest.raises(ArchiveError, match="missing arrays.npz"):
+            DatasetStore.load(directory)
+
+    def test_garbage_npz(self, tmp_path):
+        directory = self._saved(tmp_path)
+        (directory / "arrays.npz").write_bytes(b"not a zip")
+        with pytest.raises(ArchiveError, match="corrupt arrays.npz"):
+            DatasetStore.load(directory)
+
+    def test_no_arrays_store_loads_without_npz(self, tmp_path):
+        store = DatasetStore()
+        store.set_dataset("metrics/car", 13.1)
+        directory = store.save(tmp_path)
+        assert not (directory / "arrays.npz").exists()
+        loaded = DatasetStore.load(directory)
+        assert loaded.get_dataset("metrics/car") == 13.1
+        assert "__arrays__" not in loaded
+
+    def test_reserved_meta_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="reserved"):
+            DatasetStore().set_dataset("__arrays__", [1])
+
+
 class TestFingerprint:
     def test_deterministic_and_order_insensitive(self):
         a = fingerprint("E6", 0, False, {"x": 1.0, "y": 2.0})
@@ -101,5 +153,24 @@ class TestResultCache:
         cache = ResultCache(tmp_path / "cache")
         cache.put(fingerprint("E0", 0, True, {}), make_result())
         cache.put(fingerprint("E0", 1, True, {}), make_result())
-        assert cache.clear() == 2
+        removed, freed = cache.clear()
+        assert removed == 2 and freed > 0
         assert len(cache) == 0
+
+    def test_clear_keep_retains_newest(self, tmp_path):
+        import time
+
+        cache = ResultCache(tmp_path / "cache")
+        old_key = fingerprint("E0", 0, True, {})
+        cache.put(old_key, make_result())
+        time.sleep(0.02)  # distinct mtimes order the GC
+        new_key = fingerprint("E0", 1, True, {})
+        cache.put(new_key, make_result())
+        removed, _ = cache.clear(keep=1)
+        assert removed == 1
+        assert cache.get(new_key) is not None
+        assert cache.get(old_key) is None
+
+    def test_clear_negative_keep_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            ResultCache(tmp_path / "cache").clear(keep=-1)
