@@ -29,6 +29,11 @@ Experiment-service subcommands (the always-on daemon)::
     python -m repro watch [JOB_ID]        # stream the live event feed
     python -m repro cancel JOB_ID
 
+Developer tooling::
+
+    python -m repro check [PATHS] [--rule ID] [--json] [--baseline FILE]
+    python -m repro check --list-rules
+
 ``run``, ``report`` and ``sweep`` dispatch through the
 :class:`repro.runtime.engine.RunEngine`: every run is archived as a run
 directory (``--archive-dir``, default ``./repro-runs`` or
@@ -422,6 +427,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cancel_parser.add_argument("job_id", type=int, help="job id to cancel")
     _add_service_options(cancel_parser)
+
+    check_parser = subparsers.add_parser(
+        "check",
+        help="run the repo's AST-based invariant checker (static analysis)",
+    )
+    check_parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to scan (default: ./src if present)",
+    )
+    check_parser.add_argument(
+        "--rule",
+        dest="rules",
+        action="append",
+        default=[],
+        metavar="ID",
+        help="only run this rule id (repeatable); see --list-rules",
+    )
+    check_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the schema-1 JSON findings document instead of text",
+    )
+    check_parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "subtract a committed baseline of known findings "
+            "(default: discover .repro-check-baseline.json above the paths)"
+        ),
+    )
+    check_parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip baseline auto-discovery; report every finding",
+    )
+    check_parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write the current findings as a baseline file and exit",
+    )
+    check_parser.add_argument(
+        "--update-digests",
+        action="store_true",
+        help="re-pin the cache-schema digest manifest (after a CACHE_SCHEMA bump)",
+    )
+    check_parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
     return parser
 
 
@@ -1055,6 +1113,18 @@ def command_cancel(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_check(args: argparse.Namespace) -> int:
+    """Run the AST-based invariant checker (``repro check``).
+
+    The implementation lives in :mod:`repro.devtools.check.cli`; this
+    handler only lazy-imports it, keeping the dispatcher thin and the
+    import cost off every other subcommand.
+    """
+    from repro.devtools.check.cli import run_check
+
+    return run_check(args)
+
+
 def _render_job(job: dict) -> str:
     """Multi-line detail view of one job document (used by status/submit)."""
     target = job["experiment_id"]
@@ -1157,6 +1227,7 @@ _COMMANDS = {
     "status": command_status,
     "watch": command_watch,
     "cancel": command_cancel,
+    "check": command_check,
 }
 
 

@@ -1,0 +1,10 @@
+"""Developer tooling that ships with the library but never runs in it.
+
+``repro.devtools`` holds machinery that operates *on* the codebase —
+today the :mod:`repro.devtools.check` static-analysis subsystem behind
+``repro check`` — rather than code the simulations execute.  Everything
+in here is pure stdlib: devtools must be importable on the CLI's
+no-numpy cached fast path and inside minimal CI containers.
+"""
+
+from __future__ import annotations

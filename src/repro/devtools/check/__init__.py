@@ -1,0 +1,32 @@
+"""``repro check`` — the repository's AST-based invariant checker.
+
+Re-exports the framework surface (:class:`Checker`, :class:`Finding`,
+:class:`Rule`) and the :func:`all_rules` registry so library callers
+and tests can run the checker without touching the CLI layer::
+
+    from repro.devtools.check import Checker, all_rules
+    result = Checker(all_rules()).run(["src"])
+
+Everything in here is pure stdlib: the checker must run in the CI
+lint container, which installs nothing beyond mypy.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.check.framework import (
+    Checker,
+    CheckResult,
+    Finding,
+    ModuleContext,
+    Rule,
+)
+from repro.devtools.check.rules import all_rules
+
+__all__ = [
+    "Checker",
+    "CheckResult",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+]

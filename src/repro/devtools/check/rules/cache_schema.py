@@ -1,0 +1,306 @@
+"""SCH001 — cache-schema guard.
+
+The content-addressed result cache serves any hit whose fingerprint
+matches, *forever* — so a change to the code that defines what a
+fingerprint means (or what a cached record contains) silently serves
+stale physics unless ``CACHE_SCHEMA`` is bumped alongside it.  PR 2
+paid this debt once already (schema 1 → 2 when the bootstrap
+reseeding changed E7/E8 records for unchanged specs).
+
+The guard has two halves:
+
+* **declaration** — modules feeding the digest are pinned in
+  ``cache_digest.json`` next to this package, mapping each module to
+  its digest-relevant symbols and a token-level hash of their source.
+  A module that imports ``fingerprint``/``CACHE_SCHEMA`` from
+  :mod:`repro.runtime.cache` without being declared is flagged: it
+  joined the digest path and must be pinned.
+* **drift** — when a declared symbol's normalised token stream no
+  longer matches the pinned hash while ``CACHE_SCHEMA`` still equals
+  the pinned value, the rule reminds you to bump it; once bumped (or
+  when the pins are stale for any other reason) it reminds you to
+  re-pin with ``repro check --update-digests``.
+
+Hashes are computed over the Python *token stream* of each symbol
+(comments, blank lines, indentation and triple-quoted docstrings
+removed), not over ``ast.dump`` — token streams are stable across the
+3.10–3.13 interpreters the CI matrix runs, AST reprs are not.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import json
+import pathlib
+import tokenize
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+from repro.devtools.check.framework import Finding, ModuleContext, Rule
+
+#: The committed manifest of digest-feeding modules.
+MANIFEST_FILENAME = "cache_digest.json"
+
+#: Names whose import marks a module as feeding the cache digest.
+_DIGEST_NAMES = frozenset({"fingerprint", "CACHE_SCHEMA", "_canonical_value"})
+
+#: The module defining ``CACHE_SCHEMA``.
+_CACHE_MODULE = "repro/runtime/cache.py"
+
+
+def manifest_path() -> pathlib.Path:
+    """The on-disk location of the committed digest manifest."""
+    return pathlib.Path(__file__).resolve().parent.parent / MANIFEST_FILENAME
+
+
+def load_manifest(
+    path: str | pathlib.Path | None = None,
+) -> dict[str, object]:
+    """Read the digest manifest (empty skeleton when absent)."""
+    target = pathlib.Path(path) if path is not None else manifest_path()
+    try:
+        document = json.loads(target.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {"cache_schema": None, "modules": {}}
+    if not isinstance(document, dict):
+        return {"cache_schema": None, "modules": {}}
+    modules = document.get("modules")
+    return {
+        "cache_schema": document.get("cache_schema"),
+        "modules": modules if isinstance(modules, dict) else {},
+    }
+
+
+def symbol_digest(source: str, symbols: Sequence[str]) -> str:
+    """Token-level hash of the named top-level symbols of a module.
+
+    Deterministic across interpreter versions and insensitive to
+    comments, docstrings, indentation and blank lines — the kinds of
+    edits that cannot change what a fingerprint means.
+    """
+    tree = ast.parse(source)
+    chunks: list[str] = []
+    for name in sorted(symbols):
+        node = _find_symbol(tree, name)
+        if node is None:
+            chunks.append(f"MISSING:{name}")
+            continue
+        segment = ast.get_source_segment(source, node) or ""
+        chunks.append(f"{name}:{' '.join(_normalized_tokens(segment))}")
+    payload = "\n".join(chunks).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def declared_cache_schema(tree: ast.Module) -> int | None:
+    """The literal ``CACHE_SCHEMA`` value assigned in a module, if any."""
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = list(node.targets), node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets, value = [node.target], node.value
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "CACHE_SCHEMA"
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, int)
+            ):
+                return value.value
+    return None
+
+
+def _find_symbol(tree: ast.Module, name: str) -> ast.stmt | None:
+    """The top-level definition of ``name`` (def/class/assignment)."""
+    for node in tree.body:
+        if (
+            isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+            and node.name == name
+        ):
+            return node
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == name:
+                return node
+    return None
+
+
+def _normalized_tokens(segment: str) -> list[str]:
+    """The semantic token strings of a source segment.
+
+    Comments, newlines, indentation and triple-quoted strings
+    (docstrings) are dropped; everything else is kept verbatim.
+    Falls back to the raw text when the segment does not tokenize on
+    its own (it always should for a top-level definition).
+    """
+    dropped = {
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENDMARKER,
+    }
+    tokens: list[str] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(segment).readline):
+            if tok.type in dropped:
+                continue
+            if tok.type == tokenize.STRING and tok.string.lstrip(
+                "rbufRBUF"
+            ).startswith(('"""', "'''")):
+                continue
+            tokens.append(tok.string)
+    except tokenize.TokenizeError:
+        return [segment]
+    return tokens
+
+
+def update_manifest(
+    paths: Iterable[str | pathlib.Path],
+    manifest_file: str | pathlib.Path | None = None,
+) -> dict[str, object]:
+    """Re-pin the digest manifest from the current tree (atomic write).
+
+    Recomputes the digest of every declared module found under
+    ``paths`` and refreshes the pinned ``cache_schema`` from the cache
+    module's current literal.  Declared modules *not* reachable from
+    ``paths`` keep their old pins — a partial scan must not clobber
+    the rest of the manifest.
+    """
+    from repro.devtools.check.framework import iter_python_files, module_identity
+    from repro.utils.io import atomic_write_text
+
+    target = pathlib.Path(manifest_file) if manifest_file else manifest_path()
+    manifest = load_manifest(target)
+    modules = manifest["modules"]
+    assert isinstance(modules, dict)
+    sources: dict[str, str] = {}
+    for path, _display in iter_python_files(paths):
+        identity = module_identity(path)
+        if identity in modules or identity == _CACHE_MODULE:
+            sources[identity] = path.read_text(encoding="utf-8")
+    for identity, entry in modules.items():
+        source = sources.get(identity)
+        if source is None or not isinstance(entry, dict):
+            continue
+        symbols = [str(s) for s in entry.get("symbols", [])]
+        entry["digest"] = symbol_digest(source, symbols)
+    schema = manifest.get("cache_schema")
+    if _CACHE_MODULE in sources:
+        schema = declared_cache_schema(ast.parse(sources[_CACHE_MODULE]))
+    document: dict[str, object] = {
+        "schema": 1,
+        "cache_schema": schema,
+        "modules": modules,
+    }
+    atomic_write_text(
+        target, json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+    return document
+
+
+class CacheSchemaRule(Rule):
+    """Flag digest-relevant drift without a ``CACHE_SCHEMA`` bump."""
+
+    rule_id = "SCH001"
+    title = "cache-schema guard"
+    description = (
+        "Modules feeding the result-cache fingerprint are pinned in "
+        "cache_digest.json with a token-level hash of their "
+        "digest-relevant symbols.  Drift without a CACHE_SCHEMA bump "
+        "flags a bump reminder; drift after a bump (or any stale pin) "
+        "flags a re-pin reminder ('repro check --update-digests').  A "
+        "module importing fingerprint/CACHE_SCHEMA without being "
+        "declared is flagged as an undeclared digest feeder."
+    )
+
+    def __init__(
+        self, manifest: Mapping[str, object] | None = None
+    ) -> None:
+        self._manifest = dict(manifest) if manifest is not None else load_manifest()
+        self._drifted: list[tuple[ModuleContext, str, Sequence[str]]] = []
+        self._current_schema: int | None = None
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield declaration findings; record drift for :meth:`finalize`."""
+        modules = self._manifest.get("modules")
+        declared = modules if isinstance(modules, Mapping) else {}
+        if module.module == _CACHE_MODULE:
+            self._current_schema = declared_cache_schema(module.tree)
+        entry = declared.get(module.module)
+        if isinstance(entry, Mapping):
+            symbols = [str(s) for s in entry.get("symbols", [])]
+            current = symbol_digest(module.source, symbols)
+            if current != entry.get("digest"):
+                self._drifted.append((module, current, symbols))
+            return
+        if not module.module.startswith("repro/"):
+            return
+        yield from self._undeclared_importers(module)
+
+    def _undeclared_importers(self, module: ModuleContext) -> Iterator[Finding]:
+        """Flag undeclared modules importing digest-defining names."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            if node.module != "repro.runtime.cache":
+                continue
+            pulled = sorted(
+                alias.name
+                for alias in node.names
+                if alias.name in _DIGEST_NAMES
+            )
+            if pulled:
+                yield module.finding(
+                    node,
+                    self.rule_id,
+                    f"imports {', '.join(pulled)} from repro.runtime.cache "
+                    "but is not declared in cache_digest.json; modules "
+                    "feeding the result-cache digest must be pinned "
+                    "('repro check --update-digests' after declaring its "
+                    "symbols)",
+                )
+
+    def finalize(self) -> Iterator[Finding]:
+        """Yield drift findings once every module has been seen."""
+        pinned_schema = self._manifest.get("cache_schema")
+        for module, _current, symbols in self._drifted:
+            names = ", ".join(symbols) or "(none)"
+            if (
+                self._current_schema is not None
+                and pinned_schema is not None
+                and self._current_schema != pinned_schema
+            ):
+                message = (
+                    f"digest pins for {module.module} are stale "
+                    f"(CACHE_SCHEMA bumped {pinned_schema} -> "
+                    f"{self._current_schema}); re-pin with "
+                    "'repro check --update-digests'"
+                )
+            else:
+                message = (
+                    f"digest-relevant symbols ({names}) in "
+                    f"{module.module} changed while CACHE_SCHEMA is "
+                    f"still {pinned_schema}; old cache entries would be "
+                    "served for changed physics — bump CACHE_SCHEMA in "
+                    "repro/runtime/cache.py, then re-pin with "
+                    "'repro check --update-digests'"
+                )
+            yield Finding(
+                path=module.display_path,
+                module=module.module,
+                line=1,
+                col=1,
+                rule=self.rule_id,
+                message=message,
+                context=module.line_text(1),
+            )

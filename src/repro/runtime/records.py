@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import json
 import pathlib
+from collections.abc import Sequence
+from typing import cast
 
 from repro.experiments.base import ExperimentResult
 
@@ -42,24 +44,83 @@ def to_record(result: ExperimentResult) -> dict[str, object]:
 
 
 def from_record(record: dict[str, object]) -> ExperimentResult:
-    """Rebuild an :class:`ExperimentResult` from :func:`to_record` output."""
+    """Rebuild an :class:`ExperimentResult` from :func:`to_record` output.
+
+    Malformed documents raise ``KeyError`` (missing field),
+    ``TypeError`` (wrong container shape) or ``ValueError`` (bad
+    schema / non-numeric metric) — all of which the result cache
+    treats as a miss rather than a crash.
+    """
     schema = record.get("schema")
     if schema != SCHEMA_VERSION:
         raise ValueError(
             f"unsupported result record schema {schema!r}; "
             f"this build reads schema {SCHEMA_VERSION}"
         )
+    rows: list[Sequence[object]] = [
+        list(_as_sequence(row, "rows[]"))
+        for row in _as_sequence(record["rows"], "rows")
+    ]
+    series: list[tuple[str, Sequence[float], Sequence[float]]] = [
+        _series_entry(raw)
+        for raw in _as_sequence(record.get("series", []), "series")
+    ]
     return ExperimentResult(
         experiment_id=str(record["experiment_id"]),
         title=str(record["title"]),
         paper_claim=str(record["paper_claim"]),
-        headers=list(record["headers"]),
-        rows=[list(row) for row in record["rows"]],
-        metrics={k: float(v) for k, v in record["metrics"].items()},
-        series=[
-            (entry["label"], list(entry["x"]), list(entry["y"]))
-            for entry in record.get("series", [])
-        ],
+        headers=[str(h) for h in _as_sequence(record["headers"], "headers")],
+        rows=rows,
+        metrics={
+            k: _as_number(v, f"metrics[{k!r}]")
+            for k, v in _as_mapping(record["metrics"], "metrics").items()
+        },
+        series=series,
+    )
+
+
+def _series_entry(raw: object) -> tuple[str, list[float], list[float]]:
+    """Validate one series entry of a record into a (label, x, y) triple.
+
+    The x/y values are kept exactly as stored (ints stay ints) so a
+    record survives ``from_record`` → ``to_record`` byte-identically;
+    the cast only widens the static type to what the dataclass declares.
+    """
+    entry = _as_mapping(raw, "series[]")
+    return (
+        str(entry["label"]),
+        cast("list[float]", _as_sequence(entry["x"], "series[].x")),
+        cast("list[float]", _as_sequence(entry["y"], "series[].y")),
+    )
+
+
+def _as_sequence(value: object, field: str) -> list[object]:
+    """Validate a record field as a list/tuple (TypeError otherwise)."""
+    if isinstance(value, (list, tuple)):
+        return list(value)
+    raise TypeError(
+        f"result record field {field!r} is not a list "
+        f"(got {type(value).__name__})"
+    )
+
+
+def _as_number(value: object, field: str) -> float:
+    """Validate a record value as a float (TypeError/ValueError otherwise)."""
+    if isinstance(value, (bool, int, float, str)):
+        return float(value)
+    raise TypeError(
+        f"result record field {field} is not a number "
+        f"(got {type(value).__name__})"
+    )
+
+
+def _as_mapping(value: object, field: str) -> dict[str, object]:
+    """Validate a record field as a JSON object (TypeError otherwise)."""
+    if isinstance(value, dict):
+        return value
+    raise TypeError(
+        f"result record field {field!r} is not an object "
+        f"(got {type(value).__name__})"
     )
 
 
@@ -98,8 +159,9 @@ def jsonify(value: object) -> object:
     """
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
-    if hasattr(value, "tolist"):  # numpy scalar or ndarray
-        return jsonify(value.tolist())
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):  # numpy scalar or ndarray, without importing numpy
+        return jsonify(tolist())
     if isinstance(value, (list, tuple)):
         return [jsonify(v) for v in value]
     if isinstance(value, dict):

@@ -1,0 +1,42 @@
+"""Shared fixtures for the ``repro check`` test suite."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.devtools.check import Checker
+
+
+@pytest.fixture
+def make_tree(tmp_path):
+    """Write a fixture source tree and return its root directory.
+
+    Files are given as ``{relative_path: source}``; sources are
+    dedented so tests can use indented triple-quoted literals.  Paths
+    containing a ``repro/`` component produce modules the scoped rules
+    treat exactly like the real package (module identity is derived
+    from the last ``repro`` path component, not the absolute location).
+    """
+
+    def write(files, root_name="tree"):
+        root = tmp_path / root_name
+        for relative, source in files.items():
+            path = root / relative
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return root
+
+    return write
+
+
+@pytest.fixture
+def run_rules(make_tree):
+    """Run specific rule instances over a fixture tree; returns findings."""
+
+    def run(files, rules):
+        root = make_tree(files)
+        return Checker(rules).run([root]).findings
+
+    return run

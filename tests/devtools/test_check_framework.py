@@ -1,0 +1,169 @@
+"""Framework-level tests: identity, suppression, baseline, syntax."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.devtools.check import Checker, Finding
+from repro.devtools.check.baseline import (
+    BASELINE_SCHEMA,
+    apply_baseline,
+    discover_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.check.framework import (
+    SYNTAX_RULE_ID,
+    dotted_name,
+    module_identity,
+)
+from repro.devtools.check.rules.rng import RngDisciplineRule
+from repro.errors import ConfigurationError
+
+
+class TestModuleIdentity:
+    def test_path_from_last_repro_component(self):
+        path = pathlib.Path("/tmp/x/repro/runtime/cache.py")
+        assert module_identity(path) == "repro/runtime/cache.py"
+
+    def test_nested_repro_components_use_the_last(self):
+        path = pathlib.Path("/repro/old/repro/utils/io.py")
+        assert module_identity(path) == "repro/utils/io.py"
+
+    def test_file_outside_repro_uses_bare_name(self):
+        assert module_identity(pathlib.Path("/tmp/tests/test_x.py")) == "test_x.py"
+
+    def test_dotted_name_folds_init_to_package(self):
+        assert dotted_name("repro/utils/__init__.py") == "repro.utils"
+        assert dotted_name("repro/runtime/cache.py") == "repro.runtime.cache"
+
+
+class TestSuppressions:
+    def test_inline_allow_silences_one_rule_on_one_line(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/mod.py": """
+                import numpy as np
+                a = np.random.default_rng(1)  # repro: allow[RNG001]
+                b = np.random.default_rng(2)
+                """
+            },
+            [RngDisciplineRule()],
+        )
+        # Leading blank line from the dedented literal: the unsuppressed
+        # violation sits on physical line 4.
+        assert [f.line for f in findings] == [4]
+
+    def test_allow_star_silences_every_rule(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/mod.py": """
+                import numpy as np
+                a = np.random.default_rng(1)  # repro: allow[*]
+                """
+            },
+            [RngDisciplineRule()],
+        )
+        assert findings == []
+
+    def test_allow_for_other_rule_does_not_silence(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/mod.py": """
+                import numpy as np
+                a = np.random.default_rng(1)  # repro: allow[IO001]
+                """
+            },
+            [RngDisciplineRule()],
+        )
+        assert [f.rule for f in findings] == ["RNG001"]
+
+    def test_suppressed_counted(self, make_tree):
+        root = make_tree(
+            {
+                "repro/mod.py": """
+                import numpy as np
+                a = np.random.default_rng(1)  # repro: allow[RNG001]
+                """
+            }
+        )
+        result = Checker([RngDisciplineRule()]).run([root])
+        assert result.suppressed == 1
+        assert result.findings == []
+
+
+class TestSyntaxFindings:
+    def test_unparseable_file_reports_syntax_not_crash(self, make_tree):
+        root = make_tree({"repro/broken.py": "def f(:\n"})
+        result = Checker([RngDisciplineRule()]).run([root])
+        assert [f.rule for f in result.findings] == [SYNTAX_RULE_ID]
+        assert result.checked_files == 1
+
+
+def _finding(module="repro/a.py", rule="RNG001", context="x = 1", line=3):
+    return Finding(
+        path=f"src/{module}",
+        module=module,
+        line=line,
+        col=1,
+        rule=rule,
+        message="m",
+        context=context,
+    )
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [_finding()])
+        entries = load_baseline(path)
+        assert entries == [
+            {"module": "repro/a.py", "rule": "RNG001", "context": "x = 1"}
+        ]
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["schema"] == BASELINE_SCHEMA
+
+    def test_baseline_matching_ignores_line_numbers(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [_finding(line=3)])
+        match = apply_baseline([_finding(line=99)], load_baseline(path))
+        assert match.new == []
+        assert len(match.baselined) == 1
+        assert match.stale == []
+
+    def test_multiset_matching_budgets_duplicates(self):
+        entries = [
+            {"module": "repro/a.py", "rule": "RNG001", "context": "x = 1"}
+        ]
+        match = apply_baseline([_finding(line=1), _finding(line=2)], entries)
+        assert len(match.baselined) == 1
+        assert len(match.new) == 1
+
+    def test_stale_entries_reported(self):
+        entries = [
+            {"module": "repro/gone.py", "rule": "RNG001", "context": "y"}
+        ]
+        match = apply_baseline([], entries)
+        assert match.stale == entries
+
+    def test_missing_baseline_is_configuration_error(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_baseline(tmp_path / "nope.json")
+
+    def test_malformed_baseline_is_configuration_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": 999, "findings": []}', encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            load_baseline(path)
+
+    def test_discovery_walks_ancestors(self, tmp_path):
+        (tmp_path / "baselinehome").mkdir()
+        baseline = tmp_path / "baselinehome" / ".repro-check-baseline.json"
+        write_baseline(baseline, [])
+        nested = tmp_path / "baselinehome" / "src" / "repro"
+        nested.mkdir(parents=True)
+        assert discover_baseline([nested]) == baseline
+        assert discover_baseline([tmp_path]) is None

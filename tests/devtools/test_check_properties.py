@@ -1,0 +1,86 @@
+"""Property-based tests of the suppression mechanism.
+
+The load-bearing property of ``# repro: allow[...]``: suppressing a
+finding on one line never changes what the checker reports for any
+*other* line.  A suppression that leaked across lines would let one
+annotation hide unrelated regressions — the exact failure mode a lint
+gate exists to prevent.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.devtools.check import Checker
+from repro.devtools.check.rules.rng import RngDisciplineRule
+
+# The tmp_path fixture is function-scoped but every hypothesis example
+# writes into its own fresh subdirectory, so reuse is safe.
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+#: Number of independent violation lines in the generated module.
+NUM_VIOLATIONS = 5
+
+_CASE_COUNTER = itertools.count()
+
+
+def _module_source(suppressed, tag):
+    """A module with NUM_VIOLATIONS one-per-line RNG violations.
+
+    ``suppressed`` marks (0-based) violation indices that get an inline
+    ``allow`` comment; ``tag`` picks the comment flavour.
+    """
+    lines = ["import numpy as np"]
+    for index in range(NUM_VIOLATIONS):
+        line = f"g{index} = np.random.default_rng({index + 1})"
+        if index in suppressed:
+            line += f"  # repro: allow[{tag}]"
+        lines.append(line)
+    return "\n".join(lines) + "\n"
+
+
+def _violation_lines(tmp_path, suppressed, tag):
+    """Run the RNG rule over the generated module; returns finding lines."""
+    case = tmp_path / f"case-{next(_CASE_COUNTER)}" / "repro"
+    case.mkdir(parents=True)
+    (case / "mod.py").write_text(
+        _module_source(suppressed, tag), encoding="utf-8"
+    )
+    result = Checker([RngDisciplineRule()]).run([case.parent])
+    return sorted(f.line for f in result.findings)
+
+
+class TestSuppressionLocality:
+    @SETTINGS
+    @given(
+        suppressed=st.sets(
+            st.integers(min_value=0, max_value=NUM_VIOLATIONS - 1)
+        ),
+        tag=st.sampled_from(["RNG001", "*", "RNG001, IO001"]),
+    )
+    def test_suppression_removes_exactly_its_own_line(
+        self, suppressed, tag, tmp_path
+    ):
+        # Violation i sits on physical line i + 2 (after the import).
+        expected = sorted(
+            index + 2
+            for index in range(NUM_VIOLATIONS)
+            if index not in suppressed
+        )
+        assert _violation_lines(tmp_path, suppressed, tag) == expected
+
+    @SETTINGS
+    @given(
+        suppressed=st.sets(
+            st.integers(min_value=0, max_value=NUM_VIOLATIONS - 1)
+        )
+    )
+    def test_unrelated_rule_id_suppresses_nothing(self, suppressed, tmp_path):
+        all_lines = sorted(range(2, NUM_VIOLATIONS + 2))
+        assert _violation_lines(tmp_path, suppressed, "IO001") == all_lines

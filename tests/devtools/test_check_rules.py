@@ -1,0 +1,407 @@
+"""Per-rule trigger / non-trigger fixtures for every shipped rule."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+
+from repro.devtools.check.rules import all_rules
+from repro.devtools.check.rules.atomic_io import AtomicIoRule
+from repro.devtools.check.rules.cache_schema import (
+    CacheSchemaRule,
+    symbol_digest,
+)
+from repro.devtools.check.rules.exceptions import ExceptionHygieneRule
+from repro.devtools.check.rules.lazy_imports import (
+    LIGHT_MODULES,
+    LazyImportRule,
+)
+from repro.devtools.check.rules.locks import LockDisciplineRule
+from repro.devtools.check.rules.rng import RngDisciplineRule
+
+
+def _rules_of(findings, rule_id):
+    return [f for f in findings if f.rule == rule_id]
+
+
+class TestRuleRegistry:
+    def test_six_rules_with_unique_ids(self):
+        rules = all_rules()
+        ids = [rule.rule_id for rule in rules]
+        assert len(ids) >= 6
+        assert len(set(ids)) == len(ids)
+        assert all(rule.title and rule.description for rule in rules)
+
+    def test_instances_are_fresh_per_call(self):
+        assert all_rules()[0] is not all_rules()[0]
+
+
+class TestRngRule:
+    def test_flags_literal_unseeded_and_legacy(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/mod.py": """
+                import numpy as np
+                import random
+                a = np.random.default_rng(42)
+                b = np.random.default_rng()
+                np.random.seed(7)
+                random.seed(7)
+                c = np.random.RandomState(3)
+                """
+            },
+            [RngDisciplineRule()],
+        )
+        assert len(findings) == 5
+        assert {f.rule for f in findings} == {"RNG001"}
+
+    def test_parameter_seeded_and_exempt_module_clean(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/stats.py": """
+                import numpy as np
+                def boot(seed):
+                    return np.random.default_rng(seed)
+                """,
+                "repro/utils/rng.py": """
+                import numpy as np
+                STREAM = np.random.default_rng(0)
+                """,
+                "tests/test_x.py": """
+                import numpy as np
+                rng = np.random.default_rng(1234)
+                """,
+            },
+            [RngDisciplineRule()],
+        )
+        assert findings == []
+
+    def test_literal_seeded_randomstream_flagged(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/mod.py": """
+                from repro.utils.rng import RandomStream
+                def f(seed):
+                    ok = RandomStream(seed)
+                    bad = RandomStream(1234)
+                    return ok, bad
+                """
+            },
+            [RngDisciplineRule()],
+        )
+        assert len(findings) == 1
+        assert "RandomStream" in findings[0].message
+
+
+class TestAtomicIoRule:
+    def test_flags_raw_write_paths(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/runtime/mod.py": """
+                import json
+                import numpy as np
+                def f(path, obj, arrays):
+                    with open(path, "w") as fh:
+                        json.dump(obj, fh)
+                    path.write_text("x")
+                    path.write_bytes(b"x")
+                    np.savez_compressed(path, **arrays)
+                """
+            },
+            [AtomicIoRule()],
+        )
+        assert len(findings) == 5
+        assert {f.rule for f in findings} == {"IO001"}
+
+    def test_reads_and_buffered_savez_clean(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/runtime/mod.py": """
+                import io
+                import numpy as np
+                from repro.utils.io import atomic_write_bytes
+                def save(path, arrays):
+                    buffer = io.BytesIO()
+                    np.savez_compressed(buffer, **arrays)
+                    atomic_write_bytes(path, buffer.getvalue())
+                def read(path):
+                    with open(path) as fh:
+                        return fh.read()
+                """
+            },
+            [AtomicIoRule()],
+        )
+        assert findings == []
+
+    def test_out_of_scope_package_not_flagged(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/utils/io.py": """
+                def atomic_write_text(path, text):
+                    with open(path, "w") as fh:
+                        fh.write(text)
+                """
+            },
+            [AtomicIoRule()],
+        )
+        assert findings == []
+
+
+class TestLazyImportRule:
+    def test_flags_heavy_outside_and_lazy_exports(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/cli.py": """
+                import numpy as np
+                from repro.core.source import QuantumCombSource
+                from repro.utils import RandomStream
+                """
+            },
+            [LazyImportRule()],
+        )
+        assert len(findings) == 3
+        assert {f.rule for f in findings} == {"IMP001"}
+
+    def test_function_level_and_type_checking_clean(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/cli.py": """
+                from typing import TYPE_CHECKING
+                from repro.errors import ReproError
+                if TYPE_CHECKING:
+                    import numpy as np
+                def handler():
+                    import numpy
+                    from repro.core.source import QuantumCombSource
+                    return numpy, QuantumCombSource
+                """
+            },
+            [LazyImportRule()],
+        )
+        assert findings == []
+
+    def test_modules_outside_closure_unconstrained(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/core/source.py": """
+                import numpy as np
+                """
+            },
+            [LazyImportRule()],
+        )
+        assert findings == []
+
+    def test_light_closure_is_numpy_free_at_runtime(self):
+        """The pinned LIGHT_MODULES closure must import without numpy.
+
+        ``repro.__main__`` is skipped: importing it runs the CLI, not
+        because it is heavy.
+        """
+        modules = sorted(LIGHT_MODULES - {"repro.__main__"})
+        code = (
+            "import importlib, sys\n"
+            f"for name in {modules!r}:\n"
+            "    importlib.import_module(name)\n"
+            "assert 'numpy' not in sys.modules, 'numpy leaked into the closure'\n"
+        )
+        subprocess.run(
+            [sys.executable, "-c", code],
+            check=True,
+            env=dict(os.environ),
+            timeout=120,
+        )
+
+
+class TestLockRule:
+    def test_unlocked_public_mutation_flagged(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/service/store.py": """
+                import threading
+                class Store:
+                    def __init__(self):
+                        self._lock = threading.RLock()
+                        self._jobs = {}
+                    def put(self, key, value):
+                        with self._lock:
+                            self._jobs[key] = value
+                    def racy(self, key):
+                        self._jobs.pop(key, None)
+                """
+            },
+            [LockDisciplineRule()],
+        )
+        assert len(findings) == 1
+        assert "racy" in findings[0].message
+
+    def test_private_helpers_and_unguarded_attrs_clean(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/service/store.py": """
+                import threading
+                class Store:
+                    def __init__(self):
+                        self._lock = threading.RLock()
+                        self._jobs = {}
+                        self.stats = {}
+                    def put(self, key, value):
+                        with self._lock:
+                            self._persist(key, value)
+                    def _persist(self, key, value):
+                        self._jobs[key] = value
+                    def bump(self, key):
+                        self.stats[key] = 1
+                """
+            },
+            [LockDisciplineRule()],
+        )
+        assert findings == []
+
+    def test_out_of_scope_module_not_flagged(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/runtime/engine.py": """
+                import threading
+                class E:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._state = {}
+                    def locked(self):
+                        with self._lock:
+                            self._state["a"] = 1
+                    def unlocked(self):
+                        self._state["b"] = 2
+                """
+            },
+            [LockDisciplineRule()],
+        )
+        assert findings == []
+
+
+class TestExceptionRule:
+    def test_bare_and_swallowing_handlers_flagged(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/mod.py": """
+                def f():
+                    try:
+                        pass
+                    except:
+                        pass
+                    try:
+                        pass
+                    except Exception:
+                        pass
+                """
+            },
+            [ExceptionHygieneRule()],
+        )
+        assert len(findings) == 2
+
+    def test_narrow_or_handled_broad_catches_clean(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/mod.py": """
+                def f(log):
+                    try:
+                        pass
+                    except OSError:
+                        pass
+                    try:
+                        pass
+                    except Exception as error:
+                        log(error)
+                        raise
+                """
+            },
+            [ExceptionHygieneRule()],
+        )
+        assert findings == []
+
+
+def _manifest_for(source, symbols, cache_schema=2):
+    return {
+        "cache_schema": cache_schema,
+        "modules": {
+            "repro/runtime/cache.py": {
+                "symbols": list(symbols),
+                "digest": symbol_digest(textwrap.dedent(source), symbols),
+            }
+        },
+    }
+
+
+_CACHE_V2 = """
+CACHE_SCHEMA = 2
+def fingerprint(x):
+    return x
+"""
+
+
+class TestCacheSchemaRule:
+    def test_pinned_module_with_matching_digest_clean(self, run_rules):
+        manifest = _manifest_for(_CACHE_V2, ["fingerprint"])
+        findings = run_rules(
+            {"repro/runtime/cache.py": _CACHE_V2},
+            [CacheSchemaRule(manifest=manifest)],
+        )
+        assert findings == []
+
+    def test_drift_without_bump_demands_schema_bump(self, run_rules):
+        manifest = _manifest_for(_CACHE_V2, ["fingerprint"])
+        drifted = _CACHE_V2.replace("return x", "return x + 1")
+        findings = run_rules(
+            {"repro/runtime/cache.py": drifted},
+            [CacheSchemaRule(manifest=manifest)],
+        )
+        assert len(findings) == 1
+        assert "bump CACHE_SCHEMA" in findings[0].message
+
+    def test_drift_after_bump_demands_repin(self, run_rules):
+        manifest = _manifest_for(_CACHE_V2, ["fingerprint"])
+        bumped = _CACHE_V2.replace(
+            "CACHE_SCHEMA = 2", "CACHE_SCHEMA = 3"
+        ).replace("return x", "return (x, 3)")
+        findings = run_rules(
+            {"repro/runtime/cache.py": bumped},
+            [CacheSchemaRule(manifest=manifest)],
+        )
+        assert len(findings) == 1
+        assert "--update-digests" in findings[0].message
+        assert "stale" in findings[0].message
+
+    def test_comment_and_docstring_edits_do_not_drift(self, run_rules):
+        manifest = _manifest_for(_CACHE_V2, ["fingerprint"])
+        cosmetic = _CACHE_V2.replace(
+            "def fingerprint(x):",
+            'def fingerprint(x):\n    """Documented now."""  # and commented',
+        )
+        findings = run_rules(
+            {"repro/runtime/cache.py": cosmetic},
+            [CacheSchemaRule(manifest=manifest)],
+        )
+        assert findings == []
+
+    def test_undeclared_importer_flagged(self, run_rules):
+        manifest = {"cache_schema": 2, "modules": {}}
+        findings = run_rules(
+            {
+                "repro/service/jobs.py": """
+                from repro.runtime.cache import fingerprint
+                """
+            },
+            [CacheSchemaRule(manifest=manifest)],
+        )
+        assert len(findings) == 1
+        assert "not declared" in findings[0].message
+
+    def test_declared_importer_clean(self, run_rules):
+        importer = "from repro.runtime.cache import ResultCache\n"
+        manifest = {"cache_schema": 2, "modules": {}}
+        findings = run_rules(
+            {"repro/service/jobs.py": importer},
+            [CacheSchemaRule(manifest=manifest)],
+        )
+        assert findings == []
