@@ -15,17 +15,15 @@ repository root (gitignored, like the other BENCH files).
 
 from __future__ import annotations
 
-import json
 import pathlib
 import time
+
+from conftest import record_trajectory
 
 from repro.analysis.index import ArchiveIndex
 from repro.experiments.base import ExperimentResult
 from repro.runtime import records
 from repro.runtime.engine import RunEngine, RunSpec
-
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-TRAJECTORY_FILE = REPO_ROOT / "BENCH_analysis.json"
 
 #: Synthetic archive size: big enough to average out per-call noise,
 #: small enough to fabricate in a couple of seconds.
@@ -54,23 +52,6 @@ def _fabricate_archive(root: pathlib.Path) -> RunEngine:
         )
         engine.complete_record(spec, records.to_record(result), 0.001)
     return engine
-
-
-def _record_trajectory(entry: dict[str, object]) -> None:
-    """Append one timestamped entry to BENCH_analysis.json."""
-    trajectory: list[dict[str, object]] = []
-    if TRAJECTORY_FILE.exists():
-        try:
-            previous = json.loads(TRAJECTORY_FILE.read_text(encoding="utf-8"))
-            if isinstance(previous, list):
-                trajectory = previous
-        except ValueError:
-            trajectory = []
-    trajectory.append({"recorded_unix": time.time(), **entry})
-    TRAJECTORY_FILE.write_text(
-        json.dumps(trajectory, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
 
 
 def bench_index_build_and_query(benchmark, tmp_path):
@@ -124,8 +105,8 @@ def bench_index_build_and_query(benchmark, tmp_path):
     )
     print(f"warm query    {query_ms:6.2f} ms per filter battery")
     print(f"no-op refresh {refresh_s:6.3f}s")
-    _record_trajectory(entry)
-    print(f"trajectory entry appended to {TRAJECTORY_FILE.name}")
+    path = record_trajectory("analysis", {**entry})
+    print(f"trajectory entry appended to {path.name}")
 
     assert build_rate >= 200.0, (
         f"index build only {build_rate:.1f} runs/s (need 200)"

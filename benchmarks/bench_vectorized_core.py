@@ -16,11 +16,11 @@ spends most of its time drawing identical outcomes in both paths).
 
 from __future__ import annotations
 
-import json
-import pathlib
 import time
 
 import numpy as np
+
+from conftest import record_trajectory
 
 from repro.detection.coincidence import car_from_tags
 from repro.detection.tdc import TimeToDigitalConverter
@@ -30,9 +30,6 @@ from repro.timebin.encoding import time_bin_bell_state
 from repro.timebin.interferometer import UnbalancedMichelson
 from repro.timebin.montecarlo import TimeBinCoincidenceSimulator
 from repro.utils.rng import RandomStream
-
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-TRAJECTORY_FILE = REPO_ROOT / "BENCH_vectorized.json"
 
 
 def _time(fn, repeats: int = 3):
@@ -57,23 +54,6 @@ def _streams(duration_s=60.0, rate_hz=1500.0):
                                        int(rate_hz * duration_s)))
     b = np.sort(a + rng.child("jit").normal(0.0, 0.4e-9, a.size))
     return a, b
-
-
-def _record_trajectory(entries: dict[str, dict[str, float]]) -> None:
-    """Append one timestamped speedup entry to BENCH_vectorized.json."""
-    trajectory: list[dict[str, object]] = []
-    if TRAJECTORY_FILE.exists():
-        try:
-            previous = json.loads(TRAJECTORY_FILE.read_text(encoding="utf-8"))
-            if isinstance(previous, list):
-                trajectory = previous
-        except ValueError:
-            trajectory = []
-    trajectory.append({"recorded_unix": time.time(), "paths": entries})
-    TRAJECTORY_FILE.write_text(
-        json.dumps(trajectory, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
 
 
 def bench_vectorized_core(benchmark):
@@ -166,8 +146,8 @@ def bench_vectorized_core(benchmark):
             f"vectorized {entry['vectorized_s']*1e3:9.1f} ms   "
             f"speedup {entry['speedup']:7.1f}x"
         )
-    _record_trajectory(entries)
-    print(f"trajectory entry appended to {TRAJECTORY_FILE.name}")
+    path = record_trajectory("vectorized", {"paths": entries})
+    print(f"trajectory entry appended to {path.name}")
 
     # Acceptance bar: the vectorized fringe/coincidence sweep beats the
     # loop reference >= 5x; the pure counting paths far exceed it, the

@@ -26,9 +26,11 @@ import pathlib
 import time
 from collections.abc import Callable, Mapping
 
+from repro import obs
 from repro.analysis.analyzers import AnalysisContext, Analyzer, get_analyzer
 from repro.analysis.index import ArchiveIndex
 from repro.errors import AnalysisError
+from repro.obs import names as obs_names
 from repro.runtime.engine import default_root
 from repro.utils.io import atomic_write_text
 
@@ -142,53 +144,101 @@ class PipelineRunner:
         effects.
         """
         analyzer_ids = get_pipeline(pipeline)
-        if refresh:
-            self.index.refresh()
-        else:
-            self.index.load()
-        outcomes: list[AnalyzerOutcome] = []
-        for analyzer_id in analyzer_ids:
-            if should_stop is not None and should_stop():
-                return PipelineResult(pipeline, outcomes, completed=False)
-            outcome = self.run_analyzer(get_analyzer(analyzer_id), force=force)
-            outcomes.append(outcome)
-            if on_outcome is not None:
-                on_outcome(outcome)
+        with obs.span(
+            obs_names.SPAN_ANALYSIS_PIPELINE,
+            pipeline=pipeline,
+            analyzers=len(analyzer_ids),
+        ) as pipeline_span:
+            if refresh:
+                self.index.refresh()
+            else:
+                self.index.load()
+            outcomes: list[AnalyzerOutcome] = []
+            for analyzer_id in analyzer_ids:
+                if should_stop is not None and should_stop():
+                    pipeline_span.set(completed=False)
+                    return PipelineResult(pipeline, outcomes, completed=False)
+                outcome = self.run_analyzer(
+                    get_analyzer(analyzer_id), force=force
+                )
+                outcomes.append(outcome)
+                if on_outcome is not None:
+                    on_outcome(outcome)
+            pipeline_span.set(
+                completed=True,
+                cached=sum(1 for o in outcomes if o.cached),
+            )
+        obs.event(
+            obs_names.EVENT_PIPELINE_FINISHED,
+            {
+                "pipeline": pipeline,
+                "analyzers": len(outcomes),
+                "cached": sum(1 for o in outcomes if o.cached),
+            },
+        )
         return PipelineResult(pipeline, outcomes, completed=True)
 
     def run_analyzer(
         self, analyzer: Analyzer, force: bool = False
     ) -> AnalyzerOutcome:
         """One analyzer over the current index, through the cache."""
-        entries = []
-        for experiment in analyzer.experiments:
-            entries.extend(self.index.query(experiment=experiment, status="ok"))
-        digest = analyzer.input_digest(entries)
-        if not force:
-            hit = self._cache_get(analyzer, digest)
-            if hit is not None:
-                return AnalyzerOutcome(
-                    analyzer_id=analyzer.analyzer_id,
-                    version=analyzer.version,
-                    digest=digest,
-                    cached=True,
-                    num_inputs=len(entries),
-                    duration_s=0.0,
-                    outputs=hit,
+        with obs.span(
+            obs_names.SPAN_ANALYSIS_ANALYZER, analyzer=analyzer.analyzer_id
+        ) as span:
+            entries = []
+            for experiment in analyzer.experiments:
+                entries.extend(
+                    self.index.query(experiment=experiment, status="ok")
                 )
-        start = time.perf_counter()
-        context = AnalysisContext(self.root, entries)
-        outputs = analyzer.compute(context)
-        duration = time.perf_counter() - start
-        self._cache_put(analyzer, digest, len(entries), outputs, duration)
-        return AnalyzerOutcome(
-            analyzer_id=analyzer.analyzer_id,
-            version=analyzer.version,
-            digest=digest,
-            cached=False,
-            num_inputs=len(entries),
-            duration_s=duration,
-            outputs=outputs,
+            digest = analyzer.input_digest(entries)
+            if not force:
+                hit = self._cache_get(analyzer, digest)
+                if hit is not None:
+                    span.set(cached=True)
+                    outcome = AnalyzerOutcome(
+                        analyzer_id=analyzer.analyzer_id,
+                        version=analyzer.version,
+                        digest=digest,
+                        cached=True,
+                        num_inputs=len(entries),
+                        duration_s=0.0,
+                        outputs=hit,
+                    )
+                    self._record_analyzer(outcome)
+                    return outcome
+            start = time.perf_counter()
+            context = AnalysisContext(self.root, entries)
+            outputs = analyzer.compute(context)
+            duration = time.perf_counter() - start
+            self._cache_put(analyzer, digest, len(entries), outputs, duration)
+            span.set(cached=False)
+            outcome = AnalyzerOutcome(
+                analyzer_id=analyzer.analyzer_id,
+                version=analyzer.version,
+                digest=digest,
+                cached=False,
+                num_inputs=len(entries),
+                duration_s=duration,
+                outputs=outputs,
+            )
+            self._record_analyzer(outcome)
+            return outcome
+
+    @staticmethod
+    def _record_analyzer(outcome: AnalyzerOutcome) -> None:
+        """Telemetry for one analyzer outcome (counter, latency, event)."""
+        obs.count(obs_names.METRIC_ANALYZERS_RUN, cached=outcome.cached)
+        if not outcome.cached:
+            obs.observe(
+                obs_names.METRIC_ANALYZER_SECONDS, outcome.duration_s
+            )
+        obs.event(
+            obs_names.EVENT_ANALYZER_FINISHED,
+            {
+                "analyzer": outcome.analyzer_id,
+                "cached": outcome.cached,
+                "num_inputs": outcome.num_inputs,
+            },
         )
 
     # ------------------------------------------------------------------

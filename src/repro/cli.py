@@ -29,6 +29,12 @@ Experiment-service subcommands (the always-on daemon)::
     python -m repro watch [JOB_ID]        # stream the live event feed
     python -m repro cancel JOB_ID
 
+Telemetry subcommands (the observability surface)::
+
+    python -m repro metrics [--json]      # counters/gauges/histograms
+    python -m repro trace IDENT           # span tree for a run/job/trace id
+    python -m repro bench-report          # benchmark trajectory tables
+
 Developer tooling::
 
     python -m repro check [PATHS] [--rule ID] [--json] [--baseline FILE]
@@ -427,6 +433,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cancel_parser.add_argument("job_id", type=int, help="job id to cancel")
     _add_service_options(cancel_parser)
+
+    metrics_parser = subparsers.add_parser(
+        "metrics",
+        help=(
+            "print the telemetry snapshot (daemon RPC when reachable, "
+            "journal summary otherwise)"
+        ),
+    )
+    metrics_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw snapshot document instead of text",
+    )
+    _add_service_options(metrics_parser)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="render the span tree of a run, job, or trace from the journal",
+    )
+    trace_parser.add_argument(
+        "ident",
+        help="run id, job id, experiment, pipeline, trace id, or span id",
+    )
+    trace_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the matching span documents instead of the tree",
+    )
+    trace_parser.add_argument(
+        "--archive-dir",
+        default=None,
+        help="engine root directory (default $REPRO_RUNTIME_ROOT or ./repro-runs)",
+    )
+
+    bench_parser = subparsers.add_parser(
+        "bench-report",
+        help="summarise benchmark trajectory files (BENCH_*.json)",
+    )
+    bench_parser.add_argument(
+        "--dir",
+        default=".",
+        help="directory holding BENCH_*.json files (default: cwd)",
+    )
+    bench_parser.add_argument(
+        "--last",
+        type=int,
+        default=10,
+        metavar="N",
+        help="show only the newest N entries per trajectory (default 10)",
+    )
+    bench_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print every trajectory as one JSON document",
+    )
 
     check_parser = subparsers.add_parser(
         "check",
@@ -1040,6 +1101,8 @@ def command_status(args: argparse.Namespace) -> int:
                 job["status"],
                 f"{job.get('done_points', 0)}/{job.get('total_points', 1)}",
                 job.get("cached_points", 0),
+                _seconds(job.get("wait_s")),
+                _seconds(job.get("run_s")),
             ]
             for job in jobs
         ]
@@ -1054,6 +1117,8 @@ def command_status(args: argparse.Namespace) -> int:
                     "status",
                     "points",
                     "cached",
+                    "wait",
+                    "run",
                 ],
                 rows,
                 title="Service queue",
@@ -1113,6 +1178,187 @@ def command_cancel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _telemetry_root(args: argparse.Namespace):
+    """The engine root whose ``obs/`` journal telemetry commands read."""
+    import pathlib
+
+    from repro.runtime.engine import default_root
+
+    if args.archive_dir:
+        return pathlib.Path(args.archive_dir)
+    return default_root()
+
+
+def command_metrics(args: argparse.Namespace) -> int:
+    """Print telemetry counters/gauges/histograms.
+
+    Prefers the live daemon's ``metrics`` RPC (exact registry state);
+    when no service is reachable it falls back to summarising the
+    on-disk event journal, so a root stays inspectable after its daemon
+    exits.  Neither path imports numpy.
+    """
+    from repro.errors import ServiceError
+    from repro.obs import render as obs_render
+
+    snapshot: dict[str, object] | None = None
+    try:
+        snapshot = dict(_service_client(args).metrics())
+    except ServiceError:
+        snapshot = None
+    if snapshot is not None:
+        if args.json:
+            import json
+
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+        else:
+            print(obs_render.render_metrics(snapshot))
+        return 0
+    from repro.obs import journal as obs_journal
+
+    root = _telemetry_root(args)
+    entries = obs_journal.read_events(root)
+    if not entries:
+        print(
+            f"no telemetry: no daemon reachable and no journal under "
+            f"{obs_journal.obs_dir(root)} (enable with REPRO_OBS=1 or "
+            "run 'repro serve')",
+            file=sys.stderr,
+        )
+        return 1
+    summary = obs_render.journal_summary(entries)
+    if args.json:
+        import json
+
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(obs_render.render_journal_summary(summary))
+    return 0
+
+
+def command_trace(args: argparse.Namespace) -> int:
+    """Render the span tree(s) matching one identifier.
+
+    The identifier may be a run id, a job id, an experiment id, a
+    pipeline name, or a raw trace/span id; every span of each matching
+    trace is drawn (journal order), including pool-worker spans replayed
+    across the process boundary.
+    """
+    from repro.obs import journal as obs_journal
+    from repro.obs import render as obs_render
+
+    root = _telemetry_root(args)
+    entries = obs_journal.read_events(root)
+    spans = obs_render.select_traces(entries, args.ident)
+    if not spans:
+        total = len(obs_render.span_entries(entries))
+        print(
+            f"no spans matching {args.ident!r} under "
+            f"{obs_journal.obs_dir(root)} ({total} spans journaled); "
+            "pass a run id, job id, experiment, pipeline, or trace id",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        import json
+
+        print(json.dumps(spans, indent=2, sort_keys=True))
+    else:
+        print(obs_render.render_trace(spans))
+    return 0
+
+
+def _flatten_numbers(
+    document: dict, prefix: str = ""
+) -> dict[str, float]:
+    """Numeric leaves of a nested dict as sorted dotted-key columns."""
+    out: dict[str, float] = {}
+    for key in sorted(document):
+        value = document[key]
+        dotted = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(_flatten_numbers(value, f"{dotted}."))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[dotted] = value
+    return out
+
+
+def command_bench_report(args: argparse.Namespace) -> int:
+    """Render every ``BENCH_*.json`` trajectory as a table.
+
+    Each benchmark appends one stamped entry per run (see
+    ``benchmarks/conftest.py``): recorded time, git SHA, telemetry
+    snapshot, and the workload figures.  This prints one table per file
+    — rows are entries (oldest first), columns the numeric figures of
+    the newest entry — so performance drift across commits is visible
+    at a glance.
+    """
+    import json
+    import pathlib
+
+    directory = pathlib.Path(args.dir)
+    files = sorted(directory.glob("BENCH_*.json"))
+    trajectories: dict[str, list[dict]] = {}
+    for path in files:
+        try:
+            loaded = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        if isinstance(loaded, list) and loaded:
+            entries = [e for e in loaded if isinstance(e, dict)]
+            if entries:
+                trajectories[path.name] = entries
+    if not trajectories:
+        print(
+            f"no benchmark trajectories (BENCH_*.json) under {directory}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        print(json.dumps(trajectories, indent=2, sort_keys=True))
+        return 0
+    from repro.utils.tables import format_table
+
+    first = True
+    for name, entries in sorted(trajectories.items()):
+        shown = entries[-max(1, args.last):]
+        columns = list(
+            _flatten_numbers(
+                {
+                    k: v
+                    for k, v in shown[-1].items()
+                    if k not in ("schema", "recorded_unix", "metrics")
+                }
+            )
+        )[:6]
+        rows = []
+        for entry in shown:
+            numbers = _flatten_numbers(entry)
+            rows.append(
+                [_bench_when(entry), str(entry.get("git_sha", "-"))[:9]]
+                + [_round(numbers.get(column, "")) for column in columns]
+            )
+        if not first:
+            print()
+        first = False
+        title = name
+        if len(shown) < len(entries):
+            title += f" (newest {len(shown)} of {len(entries)})"
+        print(format_table(["recorded", "sha"] + columns, rows, title=title))
+    return 0
+
+
+def _bench_when(entry: dict) -> str:
+    """A trajectory entry's recorded time as a compact local timestamp."""
+    import datetime
+
+    recorded = entry.get("recorded_unix")
+    if not isinstance(recorded, (int, float)):
+        return "-"
+    return datetime.datetime.fromtimestamp(recorded).strftime(
+        "%Y-%m-%d %H:%M"
+    )
+
+
 def command_check(args: argparse.Namespace) -> int:
     """Run the AST-based invariant checker (``repro check``).
 
@@ -1148,6 +1394,20 @@ def _render_job(job: dict) -> str:
         f"  pipeline: {job.get('pipeline', 'main')}"
         f"  attempt: {job.get('attempt', 1)}"
     )
+    timing = [
+        f"{label}: {job[key]}"
+        for label, key in (
+            ("queued", "queued_at"),
+            ("started", "started_at"),
+            ("finished", "finished_at"),
+        )
+        if job.get(key)
+    ]
+    for label, key in (("wait", "wait_s"), ("run", "run_s")):
+        if job.get(key) is not None:
+            timing.append(f"{label}: {_seconds(job[key])}")
+    if timing:
+        lines.append("  " + "  ".join(timing))
     if job.get("run_ids"):
         lines.append(f"  runs: {' '.join(job['run_ids'])}")
     if job.get("metrics"):
@@ -1170,10 +1430,21 @@ def _event_line(event: dict) -> str:
     total = event.get("total_points", 1)
     if total and total > 1:
         progress = f" [{event.get('done_points', 0)}/{total}]"
+    wait = ""
+    if event.get("event") == "started" and event.get("wait_s") is not None:
+        wait = f" (waited {_seconds(event['wait_s'])})"
     return (
         f"{event.get('seq', '?'):>6}  job {event.get('job_id', '?')}  "
-        f"{event.get('event', '?'):<16} {event.get('status', '')}{progress}"
+        f"{event.get('event', '?'):<16} {event.get('status', '')}"
+        f"{progress}{wait}"
     )
+
+
+def _seconds(value: object) -> str:
+    """A duration in seconds for table display (``-`` when unknown)."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return f"{value:.2f}s"
+    return "-"
 
 
 def _render_sweep(outcome) -> str:
@@ -1227,6 +1498,9 @@ _COMMANDS = {
     "status": command_status,
     "watch": command_watch,
     "cancel": command_cancel,
+    "metrics": command_metrics,
+    "trace": command_trace,
+    "bench-report": command_bench_report,
     "check": command_check,
 }
 

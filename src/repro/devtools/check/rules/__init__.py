@@ -15,6 +15,7 @@ from repro.devtools.check.rules.cache_schema import CacheSchemaRule
 from repro.devtools.check.rules.exceptions import ExceptionHygieneRule
 from repro.devtools.check.rules.lazy_imports import LazyImportRule
 from repro.devtools.check.rules.locks import LockDisciplineRule
+from repro.devtools.check.rules.obs_names import ObsNamesRule
 from repro.devtools.check.rules.rng import RngDisciplineRule
 
 __all__ = [
@@ -23,6 +24,7 @@ __all__ = [
     "ExceptionHygieneRule",
     "LazyImportRule",
     "LockDisciplineRule",
+    "ObsNamesRule",
     "RngDisciplineRule",
     "all_rules",
 ]
@@ -35,6 +37,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     LockDisciplineRule,
     RngDisciplineRule,
     CacheSchemaRule,
+    ObsNamesRule,
 )
 
 

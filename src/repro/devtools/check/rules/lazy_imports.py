@@ -64,6 +64,13 @@ LIGHT_MODULES = frozenset(
         "repro.utils.dispatch",
         "repro.utils.io",
         "repro.utils.tables",
+        "repro.obs",
+        "repro.obs.clock",
+        "repro.obs.journal",
+        "repro.obs.metrics",
+        "repro.obs.names",
+        "repro.obs.render",
+        "repro.obs.trace",
         "repro.runtime",
         "repro.runtime.cache",
         "repro.runtime.datasets",

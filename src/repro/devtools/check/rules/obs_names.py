@@ -1,0 +1,151 @@
+"""OBS001 — telemetry names come from the central registry.
+
+The telemetry subsystem keys every span, counter, gauge, histogram and
+journal event by a dotted name, and ``repro.obs.names`` is the single
+registry of those names: renderers group by them, tests assert on
+them, and the journal schema promises they stay stable across PRs.  An
+inline string literal at an instrumentation site silently forks that
+registry — ``obs.span("engine.runs")`` next to ``names.SPAN_ENGINE_RUN
+= "engine.run"`` produces two almost-identical series no dashboard
+reconciles.  This rule machine-checks the invariant:
+
+* every name argument of an ``obs`` façade call (``span``, ``count``,
+  ``gauge``, ``observe``, ``event``, ``worker_scope``) must be a
+  ``names`` constant, never a string literal;
+* a referenced constant must actually exist in ``repro.obs.names`` —
+  a typo'd ``obs_names.SPAN_ENGINE_RUNS`` fails statically here
+  instead of raising at run time on a cold code path.
+
+The ``repro/obs/`` package itself is exempt: tracer and journal
+internals handle names generically, and the registry module is where
+the literals are *supposed* to live.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.check.framework import (
+    Finding,
+    ModuleContext,
+    Rule,
+    dotted_call_name,
+)
+
+#: Façade callables taking a registry name as their first argument,
+#: mapped to the registry kind named in the finding message.
+FACADE_CALLS: dict[str, str] = {
+    "span": "span",
+    "worker_scope": "span",
+    "count": "counter",
+    "gauge": "gauge",
+    "observe": "histogram",
+    "event": "event",
+}
+
+#: Local aliases under which the registry module is imported.
+NAMES_ALIASES = frozenset({"names", "obs_names"})
+
+
+def _registry_constants() -> frozenset[str]:
+    """Every public constant name defined by ``repro.obs.names``."""
+    from repro.obs import names
+
+    return frozenset(
+        attr for attr in vars(names) if not attr.startswith("_")
+    )
+
+
+class ObsNamesRule(Rule):
+    """Flag literal or unknown telemetry names at instrumentation sites."""
+
+    rule_id = "OBS001"
+    title = "telemetry name registry"
+    description = (
+        "Span, metric and event names passed to the repro.obs façade "
+        "(span/count/gauge/observe/event/worker_scope) must be "
+        "constants from repro.obs.names, the central name registry — "
+        "never inline string literals, and never attributes the "
+        "registry does not define.  The repro/obs/ package itself is "
+        "exempt."
+    )
+
+    def __init__(self) -> None:
+        """Capture the registry's constant names once per run."""
+        self._constants = _registry_constants()
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield OBS001 findings for one module."""
+        if not module.module.startswith("repro/"):
+            return
+        if module.module.startswith("repro/obs/"):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_call_name(node.func)
+            if not name:
+                continue
+            parts = name.split(".")
+            tail = parts[-1]
+            if tail not in FACADE_CALLS or len(parts) < 2:
+                continue
+            if parts[-2] != "obs":
+                continue
+            yield from self._check_name_argument(
+                module, node, tail, FACADE_CALLS[tail]
+            )
+
+    def _check_name_argument(
+        self,
+        module: ModuleContext,
+        node: ast.Call,
+        function: str,
+        kind: str,
+    ) -> Iterator[Finding]:
+        """Findings for the name argument of one façade call."""
+        argument = self._name_argument(node, function)
+        if argument is None:
+            return
+        if isinstance(argument, ast.Constant) and isinstance(
+            argument.value, str
+        ):
+            yield module.finding(
+                node,
+                self.rule_id,
+                f"obs.{function}({argument.value!r}, ...) hard-codes a "
+                f"{kind} name; use the matching constant from "
+                "repro.obs.names so the registry stays the single "
+                "source of series names",
+            )
+            return
+        if (
+            isinstance(argument, ast.Attribute)
+            and isinstance(argument.value, ast.Name)
+            and argument.value.id in NAMES_ALIASES
+            and argument.attr not in self._constants
+        ):
+            yield module.finding(
+                node,
+                self.rule_id,
+                f"{argument.value.id}.{argument.attr} is not defined by "
+                f"repro.obs.names; telemetry {kind} names must come "
+                "from the central registry (typo, or add the constant "
+                "there first)",
+            )
+
+    @staticmethod
+    def _name_argument(node: ast.Call, function: str) -> ast.AST | None:
+        """The registry-name argument of one façade call, if present.
+
+        ``worker_scope(context, name, ...)`` takes the name second;
+        every other façade function takes it first.
+        """
+        index = 1 if function == "worker_scope" else 0
+        if len(node.args) > index:
+            return node.args[index]
+        for keyword in node.keywords:
+            if keyword.arg == "name":
+                return keyword.value
+        return None

@@ -1,0 +1,52 @@
+"""Injectable clocks for deterministic telemetry tests.
+
+Span durations come from :meth:`Clock.monotonic` and journal timestamps
+from :meth:`Clock.wall`; neither ever participates in span *identity*
+(span ids are counter-based — see :mod:`repro.obs.trace`), so swapping
+in a :class:`ManualClock` makes every duration and timestamp in a test
+exact rather than approximately asserted.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """The real clock: monotonic for durations, unix for timestamps."""
+
+    def monotonic(self) -> float:
+        """Seconds on the monotonic clock (duration arithmetic)."""
+        return time.monotonic()
+
+    def wall(self) -> float:
+        """Seconds since the unix epoch (journal timestamps)."""
+        return time.time()
+
+
+class ManualClock(Clock):
+    """A test clock that only moves when told to.
+
+    ``monotonic`` and ``wall`` share one hand-advanced value (offset by
+    ``wall_offset`` for realistic-looking unix stamps), so a test can
+    assert exact durations: ``clock.advance(1.5)`` inside a span makes
+    its duration exactly ``1.5``.
+    """
+
+    def __init__(self, start: float = 0.0, wall_offset: float = 1.7e9) -> None:
+        self._now = float(start)
+        self._wall_offset = float(wall_offset)
+
+    def monotonic(self) -> float:
+        """The current hand-set monotonic reading."""
+        return self._now
+
+    def wall(self) -> float:
+        """The monotonic reading shifted into unix-epoch territory."""
+        return self._now + self._wall_offset
+
+    def advance(self, seconds: float) -> None:
+        """Move both clock faces forward by ``seconds``."""
+        if seconds < 0:
+            raise ValueError(f"clocks only move forward, got {seconds}")
+        self._now += seconds

@@ -1,0 +1,169 @@
+"""The append-only telemetry event journal: ``<root>/obs/events.jsonl``.
+
+Every lifecycle transition (run archived, job state change, analyzer
+finished) and every finished span becomes one schema-versioned JSON
+line, appended through :func:`repro.utils.io.append_line` (flushed +
+fsynced, torn-tail tolerant) — the same crash-safety contract as the
+service queue journal.  This file is the substrate ``repro trace``
+renders span trees from, and the precursor of the ROADMAP's
+publish/subscribe dataset bus: a subscriber replaying the journal sees
+exactly the lifecycle the long-poll ``events`` RPC reported live.
+
+Rotation keeps an always-on daemon's journal bounded: once the live
+file exceeds ``max_lines`` it is atomically renamed to
+``events-1.jsonl`` (replacing the previous generation) and a fresh file
+starts; readers stitch both generations, and sequence numbers keep
+increasing across the rotation so consumers never see a reset.
+
+Line schema (``schema`` 1)::
+
+    {"schema": 1, "seq": 42, "unix": 1700000000.0,
+     "kind": "event" | "span", "name": "run.finished", ...}
+
+``span`` lines additionally carry ``trace_id``/``span_id``/
+``parent_id``/``duration_s``/``status``; both kinds carry ``attrs``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+from collections.abc import Mapping
+
+from repro.obs import names
+from repro.obs.clock import Clock
+from repro.utils.io import append_line, read_json_lines
+
+#: Journal line schema version.
+JOURNAL_SCHEMA = 1
+
+#: Directory (under the engine root) and file names.
+OBS_DIR = "obs"
+EVENTS_FILE = "events.jsonl"
+ROTATED_FILE = "events-1.jsonl"
+
+#: Default rotation threshold, lines in the live file.
+MAX_LINES = 50_000
+
+
+def obs_dir(root: str | pathlib.Path) -> pathlib.Path:
+    """The telemetry directory under an engine root."""
+    return pathlib.Path(root) / OBS_DIR
+
+
+class EventJournal:
+    """One process's writer (and reader) of an engine root's journal."""
+
+    def __init__(
+        self,
+        root: str | pathlib.Path,
+        max_lines: int = MAX_LINES,
+        clock: Clock | None = None,
+    ) -> None:
+        self.root = pathlib.Path(root)
+        self.path = obs_dir(root) / EVENTS_FILE
+        self.rotated_path = obs_dir(root) / ROTATED_FILE
+        self.max_lines = max_lines
+        self.clock = clock if clock is not None else Clock()
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._lines = 0
+        for entry in read_json_lines(self.path):
+            self._lines += 1
+            if isinstance(entry, dict) and isinstance(entry.get("seq"), int):
+                self._seq = max(self._seq, entry["seq"])
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def emit(
+        self, name: str, attrs: Mapping[str, object] | None = None
+    ) -> dict[str, object]:
+        """Append one lifecycle event line; returns the written entry."""
+        names.require_event(name)
+        entry: dict[str, object] = {
+            "kind": "event",
+            "name": name,
+            "attrs": dict(attrs or {}),
+        }
+        return self._append(entry)
+
+    def emit_span(self, span_event: Mapping[str, object]) -> dict[str, object]:
+        """Append one finished-span document (see ``Span.to_event``).
+
+        Accepts plain dicts so spans shipped back from pool workers can
+        be journaled without reconstructing Span objects.
+        """
+        entry = dict(span_event)
+        entry["kind"] = "span"
+        return self._append(entry)
+
+    def _append(self, entry: dict[str, object]) -> dict[str, object]:
+        """Stamp, serialise, append and maybe rotate (single writer lock)."""
+        with self._lock:
+            self._seq += 1
+            entry["schema"] = JOURNAL_SCHEMA
+            entry["seq"] = self._seq
+            entry.setdefault("unix", self.clock.wall())
+            append_line(self.path, json.dumps(entry, sort_keys=True))
+            self._lines += 1
+            if self._lines >= self.max_lines:
+                self._rotate_locked()
+        return entry
+
+    def _rotate_locked(self) -> None:
+        """Rename the live file to the rotated generation (lock held)."""
+        try:
+            os.replace(self.path, self.rotated_path)
+        except OSError:
+            return  # rotation is best-effort; appends continue regardless
+        self._lines = 0
+
+    def rotate(self) -> None:
+        """Force a rotation (tests and explicit GC)."""
+        with self._lock:
+            if self.path.exists():
+                self._rotate_locked()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def seq(self) -> int:
+        """The sequence number of the last written event."""
+        with self._lock:
+            return self._seq
+
+    def events(self, since: int = 0) -> list[dict[str, object]]:
+        """Every journaled entry with ``seq > since``, oldest first.
+
+        Stitches the rotated generation in front of the live file and
+        drops entries of a foreign schema version rather than guessing
+        at their layout.
+        """
+        return read_events(self.root, since=since)
+
+
+def read_events(
+    root: str | pathlib.Path, since: int = 0
+) -> list[dict[str, object]]:
+    """Read a root's journal (rotated + live) without a writer instance.
+
+    The read-only path behind ``repro trace`` and ``repro metrics``:
+    pure JSON, no numpy, no journal mutation.
+    """
+    base = obs_dir(root)
+    entries: list[dict[str, object]] = []
+    for path in (base / ROTATED_FILE, base / EVENTS_FILE):
+        for entry in read_json_lines(path):
+            if (
+                isinstance(entry, dict)
+                and entry.get("schema") == JOURNAL_SCHEMA
+                and isinstance(entry.get("seq"), int)
+                and entry["seq"] > since
+            ):
+                entries.append(entry)
+    entries.sort(key=lambda e: e["seq"])
+    return entries

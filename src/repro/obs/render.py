@@ -1,0 +1,225 @@
+"""Text rendering for telemetry: span trees and metrics summaries.
+
+The read-only presentation layer behind ``repro trace`` and
+``repro metrics``.  Everything here consumes plain JSON documents — the
+journal entries from :func:`repro.obs.journal.read_events` or a
+:meth:`MetricsRegistry.snapshot` document fetched over the ``metrics``
+RPC — and returns strings, so it is numpy-free and trivially testable.
+
+Span trees are rebuilt purely from ``span_id``/``parent_id`` links, so
+spans recorded in pool workers (pid-prefixed ids, replayed by the
+parent) interleave correctly with parent-process spans of the same
+trace.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+#: Attribute keys ``repro trace <id>`` matches identifiers against.
+TRACE_ID_ATTRS = ("run_id", "job_id", "experiment", "pipeline")
+
+
+def span_entries(
+    entries: Iterable[Mapping[str, object]],
+) -> list[dict[str, object]]:
+    """Only the finished-span lines of a journal slice, journal order."""
+    return [dict(e) for e in entries if e.get("kind") == "span"]
+
+
+def select_traces(
+    entries: Iterable[Mapping[str, object]], ident: str
+) -> list[dict[str, object]]:
+    """Every span belonging to a trace that mentions ``ident``.
+
+    A trace matches when any of its spans carries ``ident`` as its
+    ``trace_id``, its ``span_id``, or one of the :data:`TRACE_ID_ATTRS`
+    attribute values (run id, job id, experiment, pipeline).  All spans
+    of each matching trace are returned so the rendered tree is whole,
+    not just the matching node.
+    """
+    spans = span_entries(entries)
+    wanted: set[str] = set()
+    for span in spans:
+        attrs = span.get("attrs")
+        values = list(span.get(k) for k in ("trace_id", "span_id"))
+        if isinstance(attrs, dict):
+            values.extend(attrs.get(k) for k in TRACE_ID_ATTRS)
+        if any(str(v) == ident for v in values if v is not None):
+            trace_id = span.get("trace_id")
+            if isinstance(trace_id, str):
+                wanted.add(trace_id)
+    return [s for s in spans if s.get("trace_id") in wanted]
+
+
+def _children_index(
+    spans: Sequence[Mapping[str, object]],
+) -> tuple[list[Mapping[str, object]], dict[str, list[Mapping[str, object]]]]:
+    """(roots, parent id → children) of a span set, preserving order.
+
+    A span whose parent is absent from the set (e.g. the journal slice
+    started mid-trace) is treated as a root rather than dropped.
+    """
+    ids = {s.get("span_id") for s in spans}
+    roots: list[Mapping[str, object]] = []
+    children: dict[str, list[Mapping[str, object]]] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is None or parent not in ids:
+            roots.append(span)
+        else:
+            children.setdefault(str(parent), []).append(span)
+    return roots, children
+
+
+def _span_line(span: Mapping[str, object]) -> str:
+    """One rendered node: name, duration, status, notable attrs."""
+    duration = span.get("duration_s")
+    timing = f"{duration:.4f}s" if isinstance(duration, (int, float)) else "?"
+    status = span.get("status", "ok")
+    parts = [str(span.get("name", "?")), timing]
+    if status != "ok":
+        parts.append(f"[{status}]")
+    attrs = span.get("attrs")
+    if isinstance(attrs, dict):
+        folded = " ".join(
+            f"{key}={attrs[key]}" for key in sorted(attrs) if key != "pid"
+        )
+        if folded:
+            parts.append(folded)
+    return " ".join(parts)
+
+
+def render_trace(spans: Sequence[Mapping[str, object]]) -> str:
+    """An ASCII tree of one-or-more traces' spans, with durations.
+
+    Spans should arrive in journal order (ascending ``seq``); sibling
+    order in the tree follows it.  Returns ``""`` for an empty set.
+    """
+    roots, children = _children_index(spans)
+    lines: list[str] = []
+
+    def walk(span: Mapping[str, object], prefix: str, tail: bool) -> None:
+        """Append one node and recurse into its children."""
+        connector = "└─ " if tail else "├─ "
+        lines.append(prefix + connector + _span_line(span))
+        child_prefix = prefix + ("   " if tail else "│  ")
+        kids = children.get(str(span.get("span_id")), [])
+        for index, kid in enumerate(kids):
+            walk(kid, child_prefix, index == len(kids) - 1)
+
+    for root in roots:
+        trace_id = root.get("trace_id", "?")
+        lines.append(f"trace {trace_id}")
+        lines.append("└─ " + _span_line(root))
+        kids = children.get(str(root.get("span_id")), [])
+        for index, kid in enumerate(kids):
+            walk(kid, "   ", index == len(kids) - 1)
+    return "\n".join(lines)
+
+
+def render_metrics(snapshot: Mapping[str, object]) -> str:
+    """A metrics snapshot as aligned, grep-friendly text.
+
+    Counters and gauges print one ``name value`` row per series;
+    histograms print count/sum/min/max.  Series order is the snapshot's
+    (already sorted), so output is deterministic.
+    """
+    lines: list[str] = []
+    journal = snapshot.get("journal")
+    lines.append(f"enabled: {snapshot.get('enabled', True)}")
+    if journal:
+        lines.append(f"journal: {journal}")
+
+    def section(title: str, rows: list[str]) -> None:
+        """Append one titled block if it has rows."""
+        if rows:
+            lines.append("")
+            lines.append(f"{title}:")
+            lines.extend(f"  {row}" for row in rows)
+
+    counters = snapshot.get("counters")
+    if isinstance(counters, dict) and counters:
+        width = max(len(k) for k in counters)
+        section(
+            "counters",
+            [f"{key.ljust(width)}  {value}" for key, value in counters.items()],
+        )
+    gauges = snapshot.get("gauges")
+    if isinstance(gauges, dict) and gauges:
+        width = max(len(k) for k in gauges)
+        section(
+            "gauges",
+            [f"{key.ljust(width)}  {value:g}" for key, value in gauges.items()],
+        )
+    histograms = snapshot.get("histograms")
+    if isinstance(histograms, dict) and histograms:
+        rows = []
+        for key, doc in histograms.items():
+            if not isinstance(doc, dict):
+                continue
+            rows.append(
+                f"{key}  count={doc.get('count')} sum={doc.get('sum')} "
+                f"min={doc.get('min')} max={doc.get('max')}"
+            )
+        section("histograms", rows)
+    return "\n".join(lines)
+
+
+def journal_summary(
+    entries: Iterable[Mapping[str, object]],
+) -> dict[str, object]:
+    """A metrics-like summary derived from journal lines alone.
+
+    The offline fallback for ``repro metrics`` when no daemon is
+    reachable: counts events and spans per name and sums span durations,
+    so a root remains inspectable after its service has exited.  The
+    shape intentionally mirrors a snapshot document (``counters`` /
+    ``histograms``-ish ``spans`` section) for uniform rendering.
+    """
+    events: dict[str, int] = {}
+    spans: dict[str, dict[str, object]] = {}
+    for entry in entries:
+        name = str(entry.get("name", "?"))
+        if entry.get("kind") == "span":
+            slot = spans.setdefault(
+                name, {"count": 0, "sum": 0.0, "failed": 0}
+            )
+            slot["count"] = int(slot["count"]) + 1  # type: ignore[index]
+            duration = entry.get("duration_s")
+            if isinstance(duration, (int, float)):
+                slot["sum"] = round(float(slot["sum"]) + duration, 9)
+            if entry.get("status") != "ok":
+                slot["failed"] = int(slot["failed"]) + 1
+        else:
+            events[name] = events.get(name, 0) + 1
+    return {
+        "source": "journal",
+        "events": dict(sorted(events.items())),
+        "spans": dict(sorted(spans.items())),
+    }
+
+
+def render_journal_summary(summary: Mapping[str, object]) -> str:
+    """The text form of a :func:`journal_summary` document."""
+    lines = ["source: journal (no daemon reachable)"]
+    events = summary.get("events")
+    if isinstance(events, dict) and events:
+        width = max(len(k) for k in events)
+        lines.append("")
+        lines.append("events:")
+        lines.extend(
+            f"  {key.ljust(width)}  {value}" for key, value in events.items()
+        )
+    spans = summary.get("spans")
+    if isinstance(spans, dict) and spans:
+        lines.append("")
+        lines.append("spans:")
+        for key, doc in spans.items():
+            if not isinstance(doc, dict):
+                continue
+            lines.append(
+                f"  {key}  count={doc.get('count')} sum={doc.get('sum')} "
+                f"failed={doc.get('failed')}"
+            )
+    return "\n".join(lines)

@@ -18,7 +18,9 @@ import json
 import pathlib
 from collections.abc import Mapping
 
+from repro import obs
 from repro.experiments.base import ExperimentResult
+from repro.obs import names as obs_names
 from repro.runtime import records
 from repro.runtime.records import jsonify
 
@@ -90,8 +92,10 @@ class ResultCache:
             result = records.from_record(entry["record"])
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
+            obs.count(obs_names.METRIC_CACHE_MISS)
             return None
         self.hits += 1
+        obs.count(obs_names.METRIC_CACHE_HIT)
         return result
 
     def put(

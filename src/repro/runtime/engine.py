@@ -32,8 +32,10 @@ import time
 import traceback
 from collections.abc import Callable, Mapping
 
+from repro import obs
 from repro.errors import ConfigurationError, WorkerError
 from repro.experiments.base import ExperimentResult
+from repro.obs import names as obs_names
 from repro.runtime import records
 from repro.runtime.cache import ResultCache, fingerprint
 from repro.runtime.records import jsonify
@@ -158,26 +160,41 @@ def _execute(spec: RunSpec) -> tuple[dict[str, object], float]:
 
 def _execute_safe(
     spec: RunSpec,
-) -> tuple[dict[str, object] | None, dict[str, str] | None, float]:
+    obs_ctx: Mapping[str, str] | None = None,
+) -> tuple[
+    dict[str, object] | None,
+    dict[str, str] | None,
+    float,
+    list[dict[str, object]],
+]:
     """Pool-worker wrapper of :func:`_execute` capturing failures.
 
-    Returns ``(record, None, duration)`` on success and
-    ``(None, failure, duration)`` on any exception, where ``failure``
-    carries the exception type, message and *formatted traceback* —
-    the frames themselves cannot cross the process boundary, so the
-    text is formatted on the worker side where it still exists.
+    Returns ``(record, None, duration, spans)`` on success and
+    ``(None, failure, duration, spans)`` on any exception, where
+    ``failure`` carries the exception type, message and *formatted
+    traceback* — the frames themselves cannot cross the process
+    boundary, so the text is formatted on the worker side where it
+    still exists.  ``spans`` uses the same transport: when the parent
+    ships its span context as ``obs_ctx``, the worker times itself
+    under a pid-prefixed collector tracer and the finished span
+    documents ride home in the tuple for the parent to journal
+    (workers never write telemetry files themselves).
     """
     start = time.perf_counter()
+    scope = obs.worker_scope(
+        obs_ctx, obs_names.SPAN_POOL_EXECUTE, experiment=spec.experiment_id
+    )
     try:
-        record, duration = _execute(spec)
+        with scope:
+            record, duration = _execute(spec)
     except Exception as error:  # noqa: BLE001 - transported to the parent
         failure = {
             "type": type(error).__name__,
             "message": str(error),
             "traceback": traceback.format_exc(),
         }
-        return None, failure, time.perf_counter() - start
-    return record, None, duration
+        return None, failure, time.perf_counter() - start, scope.spans
+    return record, None, duration, scope.spans
 
 
 def _failure_from(error: BaseException) -> dict[str, str]:
@@ -237,6 +254,9 @@ class RunEngine:
         self.index = archive and index
         self.max_workers = max_workers
         self.progress = progress
+        # First engine root of the process hosts the telemetry journal
+        # (no-op while telemetry is disabled or already attached).
+        obs.attach_root(self.root)
 
     # ------------------------------------------------------------------
     # Running
@@ -278,14 +298,16 @@ class RunEngine:
             import repro.experiments.registry  # noqa: F401
 
             workers = min(self.max_workers, len(pending))
+            obs_ctx = obs.context()
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
-                    pool.submit(_execute_safe, specs[index]): index
+                    pool.submit(_execute_safe, specs[index], obs_ctx): index
                     for index in pending
                 }
                 for future in as_completed(futures):
                     index = futures[future]
-                    record, failure, duration = future.result()
+                    record, failure, duration, spans = future.result()
+                    obs.replay(spans)
                     if failure is not None:
                         # The worker's frames are gone; its formatted
                         # traceback is archived and re-raised verbatim.
@@ -335,20 +357,36 @@ class RunEngine:
             specs.append(
                 RunSpec.make(experiment_id, seed=seed, quick=quick, params=merged)
             )
-        outcomes, pending, done = self._partition_hits(specs)
-        if pending:
-            # Decide the execution strategy only once something actually
-            # misses: a fully cached sweep must never import the driver
-            # stack (the registry pulls in numpy — see the lazy-import
-            # invariant in DESIGN.md).
-            if batch is None:
-                from repro.experiments.registry import supports_batch
+        sweep_start = time.perf_counter()
+        with obs.span(
+            obs_names.SPAN_ENGINE_SWEEP,
+            experiment=experiment_id.upper(),
+            points=len(points),
+        ) as sweep_span:
+            outcomes, pending, done = self._partition_hits(specs)
+            if pending:
+                # Decide the execution strategy only once something actually
+                # misses: a fully cached sweep must never import the driver
+                # stack (the registry pulls in numpy — see the lazy-import
+                # invariant in DESIGN.md).
+                if batch is None:
+                    from repro.experiments.registry import supports_batch
 
-                batch = self.max_workers == 1 and supports_batch(experiment_id)
-            if batch:
-                self._run_pending_batch(specs, outcomes, pending, done)
-            else:
-                self._run_pending_pool(specs, outcomes, pending, done)
+                    batch = self.max_workers == 1 and supports_batch(
+                        experiment_id
+                    )
+                if batch:
+                    self._run_pending_batch(specs, outcomes, pending, done)
+                else:
+                    self._run_pending_pool(specs, outcomes, pending, done)
+            sweep_span.set(cached=len(points) - len(pending))
+        elapsed = time.perf_counter() - sweep_start
+        if points and elapsed > 0:
+            obs.gauge(
+                obs_names.METRIC_MC_POINTS_PER_SECOND,
+                len(points) / elapsed,
+                experiment=experiment_id.upper(),
+            )
         return SweepOutcome(
             experiment_id=experiment_id.upper(),
             scan_description=scan.describe(),
@@ -401,43 +439,48 @@ class RunEngine:
         from repro.experiments.registry import run_experiment_batch
 
         first = specs[pending[0]]
-        results = run_experiment_batch(
-            first.experiment_id,
-            [specs[index].params_dict() for index in pending],
-            seed=first.seed,
-            quick=first.quick,
-        )
-        results_iter = iter(results)
-        pending_iter = iter(pending)
-        last = time.perf_counter()
-        for index in pending_iter:
-            spec = specs[index]
-            try:
-                result = next(results_iter)
-            except StopIteration:
-                break  # registry contract: it polices the count itself
-            except Exception as error:  # noqa: BLE001 - re-raised unchanged
-                # The driver failed computing *this* point; archive its
-                # traceback before the original exception (type intact)
-                # continues to the caller.
-                self.record_failure(
-                    spec, _failure_from(error), time.perf_counter() - last
-                )
-                raise
-            now = time.perf_counter()
-            try:
-                record = records.to_record(result)
-                outcome = self._complete(spec, record, now - last)
-            except Exception as error:  # noqa: BLE001 - re-raised unchanged
-                # Persisting this completed point failed (disk error,
-                # broken progress pipe, ...) — still this point's fault
-                # line in the archive, not the next one's.
-                self.record_failure(spec, _failure_from(error), now - last)
-                raise
-            outcomes[index] = outcome
-            done += 1
-            self._report(done, len(specs), outcome)
+        with obs.span(
+            obs_names.SPAN_ENGINE_BATCH,
+            experiment=first.experiment_id,
+            points=len(pending),
+        ):
+            results = run_experiment_batch(
+                first.experiment_id,
+                [specs[index].params_dict() for index in pending],
+                seed=first.seed,
+                quick=first.quick,
+            )
+            results_iter = iter(results)
+            pending_iter = iter(pending)
             last = time.perf_counter()
+            for index in pending_iter:
+                spec = specs[index]
+                try:
+                    result = next(results_iter)
+                except StopIteration:
+                    break  # registry contract: it polices the count itself
+                except Exception as error:  # noqa: BLE001 - re-raised unchanged
+                    # The driver failed computing *this* point; archive its
+                    # traceback before the original exception (type intact)
+                    # continues to the caller.
+                    self.record_failure(
+                        spec, _failure_from(error), time.perf_counter() - last
+                    )
+                    raise
+                now = time.perf_counter()
+                try:
+                    record = records.to_record(result)
+                    outcome = self._complete(spec, record, now - last)
+                except Exception as error:  # noqa: BLE001 - re-raised unchanged
+                    # Persisting this completed point failed (disk error,
+                    # broken progress pipe, ...) — still this point's fault
+                    # line in the archive, not the next one's.
+                    self.record_failure(spec, _failure_from(error), now - last)
+                    raise
+                outcomes[index] = outcome
+                done += 1
+                self._report(done, len(specs), outcome)
+                last = time.perf_counter()
 
     def compute(self, spec: RunSpec) -> RunOutcome:
         """Execute one spec in-process (no cache consult) and persist it.
@@ -447,12 +490,17 @@ class RunEngine:
         archived as a failure manifest before the original exception —
         type intact — continues to the caller.
         """
-        try:
-            record, duration = _execute(spec)
-        except Exception as error:  # noqa: BLE001 - re-raised unchanged
-            self.record_failure(spec, _failure_from(error))
-            raise
-        return self._complete(spec, record, duration)
+        with obs.span(
+            obs_names.SPAN_ENGINE_RUN,
+            experiment=spec.experiment_id,
+            run_id=spec.run_id(),
+        ):
+            try:
+                record, duration = _execute(spec)
+            except Exception as error:  # noqa: BLE001 - re-raised unchanged
+                self.record_failure(spec, _failure_from(error))
+                raise
+            return self._complete(spec, record, duration)
 
     def complete_record(
         self, spec: RunSpec, record: dict[str, object], duration_s: float
@@ -584,7 +632,15 @@ class RunEngine:
             return None
         start = time.perf_counter()
         key = spec.fingerprint()
-        result = self.cache.get(key)
+        with obs.span(
+            obs_names.SPAN_CACHE_LOOKUP, experiment=spec.experiment_id
+        ) as span:
+            result = self.cache.get(key)
+            span.set(hit=result is not None)
+        obs.observe(
+            obs_names.METRIC_CACHE_LOOKUP_SECONDS,
+            time.perf_counter() - start,
+        )
         if result is None:
             return None
         run_id = spec.run_id()
@@ -610,6 +666,17 @@ class RunEngine:
             run_dir = self._archive(spec, result, duration_s, cached=False)
         if self.cache is not None:
             self.cache.put(spec.fingerprint(), result, duration_s)
+        obs.count(obs_names.METRIC_ENGINE_RUNS)
+        obs.observe(obs_names.METRIC_ENGINE_RUN_SECONDS, duration_s)
+        obs.event(
+            obs_names.EVENT_RUN_FINISHED,
+            {
+                "run_id": spec.run_id(),
+                "experiment": spec.experiment_id,
+                "cached": False,
+                "duration_s": duration_s,
+            },
+        )
         return RunOutcome(
             spec=spec,
             result=result,
@@ -634,6 +701,15 @@ class RunEngine:
         instead of silently dropping it.  No cache entry is written:
         the spec recomputes on its next submission.
         """
+        obs.count(obs_names.METRIC_ENGINE_FAILURES)
+        obs.event(
+            obs_names.EVENT_RUN_FAILED,
+            {
+                "run_id": spec.run_id(),
+                "experiment": spec.experiment_id,
+                "error_type": str(failure.get("type", "?")),
+            },
+        )
         if not self.archive:
             return None
         run_dir = self.runs_dir / spec.run_id()
@@ -667,15 +743,18 @@ class RunEngine:
         from repro.runtime.datasets import store_from_result
 
         run_dir = self.runs_dir / spec.run_id()
-        run_dir.mkdir(parents=True, exist_ok=True)
-        records.save(result, run_dir / RESULT_FILE)
-        store_from_result(result).save(run_dir)
-        self._write_manifest(
-            run_dir, spec, duration_s=duration_s, cached=cached, status="ok"
-        )
-        self._index_upsert(
-            spec, result.metrics, "ok", duration_s, cached, run_dir
-        )
+        with obs.span(
+            obs_names.SPAN_ENGINE_ARCHIVE, run_id=spec.run_id()
+        ):
+            run_dir.mkdir(parents=True, exist_ok=True)
+            records.save(result, run_dir / RESULT_FILE)
+            store_from_result(result).save(run_dir)
+            self._write_manifest(
+                run_dir, spec, duration_s=duration_s, cached=cached, status="ok"
+            )
+            self._index_upsert(
+                spec, result.metrics, "ok", duration_s, cached, run_dir
+            )
         return run_dir
 
     def _index_upsert(

@@ -35,12 +35,14 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro import obs
 from repro.errors import (
     AnalysisError,
     ConfigurationError,
     ReproError,
     ServiceError,
 )
+from repro.obs import names as obs_names
 from repro.runtime.engine import RunEngine, default_root
 from repro.service.scheduler import Scheduler
 from repro.service.store import JobStore
@@ -81,6 +83,11 @@ class ExperimentService:
         self.host = host
         self._requested_port = port
         self.on_event = on_event
+        # The daemon is observable by default: telemetry comes up with
+        # the service unless REPRO_OBS=0 explicitly opts out, and the
+        # engine construction below attaches the journal to this root.
+        if obs.env_preference() is not False:
+            obs.configure(enabled=True)
         self.engine = RunEngine(root=self.root)
         self.store = JobStore(self.root, recover=True)
         self.scheduler = Scheduler(
@@ -102,6 +109,7 @@ class ExperimentService:
             "queue": self._rpc_queue,
             "events": self._rpc_events,
             "health": self._rpc_health,
+            "metrics": self._rpc_metrics,
             "shutdown": self._rpc_shutdown,
         }
 
@@ -346,6 +354,20 @@ class ExperimentService:
             ),
         }
 
+    def _rpc_metrics(self) -> dict[str, object]:
+        """The daemon's telemetry snapshot (counters/gauges/histograms).
+
+        Deterministic for a given workload (fixed histogram buckets,
+        sorted series keys) plus the journal path and sequence number so
+        clients can follow up with a journal read.
+        """
+        document = obs.snapshot()
+        state = obs.state()
+        document["journal_seq"] = (
+            state.journal.seq if state.journal is not None else 0
+        )
+        return document
+
     def _rpc_shutdown(self) -> dict[str, object]:
         """Stop the daemon (deferred so the reply still goes out)."""
         threading.Thread(target=self.stop, daemon=True).start()
@@ -409,18 +431,25 @@ class _RPCHandler(BaseHTTPRequestHandler):
                 ),
             )
             return
+        method = str(request["method"])
+        start = time.perf_counter()
+        ok = True
         try:
-            result = self.context.dispatch(str(request["method"]), params)
+            with obs.span(obs_names.SPAN_RPC_REQUEST, method=method):
+                result = self.context.dispatch(method, params)
         except ServiceError as error:
+            ok = False
             self._reply(
                 404, _rpc_error(request_id, RPC_METHOD_NOT_FOUND, str(error))
             )
         except (AnalysisError, ConfigurationError, TypeError) as error:
             # TypeError: params that do not match the method signature.
+            ok = False
             self._reply(
                 400, _rpc_error(request_id, RPC_INVALID_PARAMS, str(error))
             )
         except Exception as error:  # noqa: BLE001 - robust daemon boundary
+            ok = False
             self._reply(
                 500,
                 _rpc_error(
@@ -433,6 +462,13 @@ class _RPCHandler(BaseHTTPRequestHandler):
             self._reply(
                 200, {"jsonrpc": "2.0", "id": request_id, "result": result}
             )
+        finally:
+            obs.observe(
+                obs_names.METRIC_RPC_REQUEST_SECONDS,
+                time.perf_counter() - start,
+                method=method,
+            )
+            obs.count(obs_names.METRIC_RPC_REQUESTS, method=method, ok=ok)
 
     def _reply(self, code: int, payload: dict[str, object]) -> None:
         """Serialise one JSON response."""

@@ -90,6 +90,13 @@ class ServiceClient:
                 f"experiment service unreachable at {self.url}: "
                 f"{error.reason}"
             ) from error
+        except OSError as error:
+            # A daemon dying mid-request resets the socket, which
+            # surfaces as a bare OSError rather than a URLError.
+            raise ServiceError(
+                f"experiment service connection failed at {self.url}: "
+                f"{error}"
+            ) from error
         if not isinstance(reply, dict):
             raise ServiceError(
                 f"rpc {method!r}: malformed reply {reply!r}"
@@ -216,6 +223,10 @@ class ServiceClient:
     def health(self) -> dict[str, object]:
         """The daemon's liveness snapshot."""
         return self.call("health")
+
+    def metrics(self) -> dict[str, object]:
+        """The daemon's telemetry snapshot (counters/gauges/histograms)."""
+        return self.call("metrics")
 
     def shutdown(self) -> None:
         """Ask the daemon to stop (fire-and-forget)."""

@@ -24,11 +24,20 @@ Pure stdlib: the model sits below the CLI's no-numpy fast path.
 from __future__ import annotations
 
 import dataclasses
+import datetime
 import time
 from collections.abc import Mapping
 
 from repro.errors import ConfigurationError
 from repro.runtime.engine import RunSpec
+
+
+def _iso(unix: float | None) -> str | None:
+    """A unix timestamp as a UTC ISO-8601 string (None passes through)."""
+    if not unix:
+        return None
+    stamp = datetime.datetime.fromtimestamp(unix, tz=datetime.timezone.utc)
+    return stamp.strftime("%Y-%m-%dT%H:%M:%SZ")
 
 #: Lifecycle states.
 PENDING = "pending"
@@ -147,6 +156,20 @@ class Job:
         """Whether the job has reached a final state."""
         return self.status in TERMINAL
 
+    @property
+    def wait_s(self) -> float | None:
+        """Seconds spent queued (submission → claim), None while pending."""
+        if self.started_unix is None:
+            return None
+        return max(0.0, round(self.started_unix - self.submitted_unix, 6))
+
+    @property
+    def run_s(self) -> float | None:
+        """Seconds spent executing (claim → terminal), None until finished."""
+        if self.started_unix is None or self.finished_unix is None:
+            return None
+        return max(0.0, round(self.finished_unix - self.started_unix, 6))
+
     def label(self) -> str:
         """One-line description used in progress and log messages."""
         parts = [f"#{self.job_id}", self.kind, self.experiment_id]
@@ -190,8 +213,21 @@ class Job:
     # Persistence
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, object]:
-        """The JSON-native document stored as the job's status file."""
-        return dataclasses.asdict(self)
+        """The JSON-native document stored as the job's status file.
+
+        Alongside the raw dataclass fields, the document carries derived
+        human-readable timing: ISO-8601 ``queued_at``/``started_at``/
+        ``finished_at`` plus ``wait_s`` (queue wait) and ``run_s``
+        (execution time).  :meth:`from_dict` ignores unknown keys, so
+        the derived block never threatens the round-trip.
+        """
+        document = dataclasses.asdict(self)
+        document["queued_at"] = _iso(self.submitted_unix)
+        document["started_at"] = _iso(self.started_unix)
+        document["finished_at"] = _iso(self.finished_unix)
+        document["wait_s"] = self.wait_s
+        document["run_s"] = self.run_s
+        return document
 
     @classmethod
     def from_dict(cls, document: Mapping[str, object]) -> "Job":

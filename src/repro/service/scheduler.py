@@ -25,7 +25,9 @@ from __future__ import annotations
 import threading
 from collections.abc import Callable
 
+from repro import obs
 from repro.errors import WorkerError
+from repro.obs import names as obs_names
 from repro.runtime.engine import (
     RunEngine,
     RunOutcome,
@@ -158,13 +160,23 @@ class Scheduler:
     def _run_job(self, job: Job) -> None:
         """Execute one claimed job through to a terminal state."""
         self._log(f"{job.label()} started (attempt {job.attempt})")
+        if job.wait_s is not None:
+            obs.observe(obs_names.METRIC_QUEUE_WAIT_SECONDS, job.wait_s)
+        job_span = obs.span(
+            obs_names.SPAN_SCHEDULER_JOB,
+            job_id=job.job_id,
+            kind=job.kind,
+            experiment=job.experiment_id,
+        )
         try:
-            if job.kind == KIND_RUN:
-                self._run_single(job)
-            elif job.kind == KIND_ANALYZE:
-                self._run_analyze(job)
-            else:
-                self._run_sweep(job)
+            with job_span:
+                if job.kind == KIND_RUN:
+                    self._run_single(job)
+                elif job.kind == KIND_ANALYZE:
+                    self._run_analyze(job)
+                else:
+                    self._run_sweep(job)
+                job_span.set(status=job.status)
         except Exception as error:  # noqa: BLE001 - job-level isolation
             # First line only: a WorkerError's message embeds the whole
             # worker traceback, which the traceback field already holds.
@@ -192,6 +204,7 @@ class Scheduler:
                 self._log(f"{job.label()} failed: {failure['type']}")
         else:
             self._log(f"{job.label()} {job.status}")
+        obs.count(obs_names.METRIC_JOBS_FINISHED, status=job.status)
 
     def _run_single(self, job: Job) -> None:
         """Run-kind job: one spec through cache or compute.
@@ -295,7 +308,8 @@ class Scheduler:
         """Execute one cache miss (process pool or in-thread)."""
         if not self.use_processes:
             return self.engine.compute(spec)
-        record, failure, duration = self._submit_to_pool(spec)
+        record, failure, duration, spans = self._submit_to_pool(spec)
+        obs.replay(spans)
         if failure is not None:
             self.engine.record_failure(spec, failure, duration)
             raise WorkerError(
@@ -326,7 +340,7 @@ class Scheduler:
                 self._pool = ProcessPoolExecutor(max_workers=self.workers)
             pool = self._pool
         try:
-            return pool.submit(_execute_safe, spec).result()
+            return pool.submit(_execute_safe, spec, obs.context()).result()
         except BrokenExecutor:
             with self._pool_lock:
                 if self._pool is pool:

@@ -38,7 +38,9 @@ import threading
 import time
 from collections.abc import Iterable, Mapping
 
+from repro import obs
 from repro.errors import ConfigurationError
+from repro.obs import names as obs_names
 from repro.runtime.engine import RunEngine, RunSpec, default_root
 from repro.service.jobs import (
     ANALYSIS_EXPERIMENT,
@@ -535,7 +537,10 @@ class JobStore:
         """Atomically rewrite the job file and journal one event.
 
         Caller holds the lock.  The journal line carries the sequence
-        number that drives the long-poll subscription feed.
+        number that drives the long-poll subscription feed; the same
+        transition is mirrored into the telemetry journal (when
+        enabled), so an ``obs/events.jsonl`` replay reconstructs
+        exactly the lifecycle a live long-poller saw.
         """
         atomic_write_text(
             self.job_path(job.job_id),
@@ -552,10 +557,29 @@ class JobStore:
             "done_points": job.done_points,
             "total_points": job.total_points,
         }
+        if job.wait_s is not None:
+            entry["wait_s"] = job.wait_s
         entry.update(extra)
         append_line(self.journal_path, json.dumps(entry, sort_keys=True))
         self._events.append(entry)
         self._changed.notify_all()
+        obs.event(
+            obs_names.EVENT_JOB_TRANSITION,
+            {
+                "job_id": job.job_id,
+                "transition": event,
+                "status": job.status,
+                "experiment": job.experiment_id,
+                "queue_seq": self._seq,
+            },
+        )
+        if obs.enabled():
+            depth = sum(
+                1
+                for other in self._jobs.values()
+                if other.status in (PENDING, RUNNING)
+            )
+            obs.gauge(obs_names.METRIC_QUEUE_DEPTH, depth)
 
 
 def _is_zombie(pid: int) -> bool:

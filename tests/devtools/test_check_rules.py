@@ -19,6 +19,7 @@ from repro.devtools.check.rules.lazy_imports import (
     LazyImportRule,
 )
 from repro.devtools.check.rules.locks import LockDisciplineRule
+from repro.devtools.check.rules.obs_names import ObsNamesRule
 from repro.devtools.check.rules.rng import RngDisciplineRule
 
 
@@ -403,5 +404,104 @@ class TestCacheSchemaRule:
         findings = run_rules(
             {"repro/service/jobs.py": importer},
             [CacheSchemaRule(manifest=manifest)],
+        )
+        assert findings == []
+
+
+class TestObsNamesRule:
+    def test_string_literal_name_flagged(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/runtime/engine.py": """
+                from repro import obs
+
+                def run():
+                    with obs.span("engine.run"):
+                        obs.count("cache.hit")
+                """
+            },
+            [ObsNamesRule()],
+        )
+        assert len(findings) == 2
+        assert all(f.rule == "OBS001" for f in findings)
+        assert "repro.obs.names" in findings[0].message
+
+    def test_unknown_registry_constant_flagged(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/runtime/engine.py": """
+                from repro import obs
+                from repro.obs import names
+
+                def run():
+                    obs.count(names.METRIC_CACHE_HITZ)
+                """
+            },
+            [ObsNamesRule()],
+        )
+        assert len(findings) == 1
+        assert "METRIC_CACHE_HITZ" in findings[0].message
+
+    def test_registry_constants_clean(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/runtime/engine.py": """
+                from repro import obs
+                from repro.obs import names
+
+                def run(ctx):
+                    with obs.span(names.SPAN_ENGINE_RUN):
+                        obs.count(names.METRIC_CACHE_HIT)
+                    with obs.worker_scope(ctx, names.SPAN_POOL_EXECUTE):
+                        pass
+                """
+            },
+            [ObsNamesRule()],
+        )
+        assert findings == []
+
+    def test_worker_scope_name_is_second_argument(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/runtime/engine.py": """
+                from repro import obs
+
+                def run(ctx):
+                    with obs.worker_scope(ctx, "pool.execute"):
+                        pass
+                """
+            },
+            [ObsNamesRule()],
+        )
+        assert len(findings) == 1
+
+    def test_obs_package_itself_exempt(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/obs/__init__.py": """
+                def span(name):
+                    return name
+
+                def demo():
+                    return span("anything.goes")
+                """
+            },
+            [ObsNamesRule()],
+        )
+        assert findings == []
+
+    def test_unrelated_attribute_calls_ignored(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/runtime/engine.py": """
+                class Tracer:
+                    def span(self, name):
+                        return name
+
+                def run(tracer):
+                    return tracer.span("not.a.registry.name")
+                """
+            },
+            [ObsNamesRule()],
         )
         assert findings == []

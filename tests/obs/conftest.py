@@ -1,0 +1,28 @@
+"""Shared fixtures for the telemetry test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.clock import ManualClock
+
+
+@pytest.fixture(autouse=True)
+def _pristine_obs(monkeypatch):
+    """Isolate the process-wide telemetry state per test.
+
+    Clears ``REPRO_OBS`` (so enablement is explicit in each test) and
+    resets the module state before and after, so a test that enables
+    telemetry or attaches a journal cannot leak into its neighbours.
+    """
+    monkeypatch.delenv(obs.OBS_ENV_VAR, raising=False)
+    obs.reset()
+    yield
+    obs.reset()
+
+
+@pytest.fixture
+def manual_clock() -> ManualClock:
+    """A hand-advanced clock for exact duration assertions."""
+    return ManualClock()

@@ -1,0 +1,166 @@
+"""CLI telemetry surface: metrics, trace, bench-report, numpy-free path."""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+from repro import obs
+from repro.cli import main
+from repro.obs import names
+
+
+def runtime_root() -> pathlib.Path:
+    """The per-test engine root the conftest fixture points at."""
+    return pathlib.Path(os.environ["REPRO_RUNTIME_ROOT"])
+
+
+def journaled_run():
+    """One traced engine.run against the hermetic runtime root."""
+    from repro.runtime.engine import RunEngine
+
+    obs.configure(enabled=True)
+    engine = RunEngine(root=runtime_root())
+    return engine.run("E6", quick=True, params={"pump_mw": 4.0})
+
+
+class TestMetricsCommand:
+    def test_journal_fallback_renders_summary(self, capsys):
+        journaled_run()
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "journal" in out
+        assert names.SPAN_ENGINE_RUN in out
+        assert names.EVENT_RUN_FINISHED in out
+
+    def test_journal_fallback_json(self, capsys):
+        journaled_run()
+        assert main(["metrics", "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["source"] == "journal"
+        assert summary["spans"][names.SPAN_ENGINE_RUN]["count"] == 1
+
+    def test_no_daemon_no_journal_fails_with_hint(self, capsys):
+        assert main(["metrics"]) == 1
+        err = capsys.readouterr().err
+        assert "no telemetry" in err
+        assert "REPRO_OBS=1" in err
+
+    def test_live_daemon_serves_registry_snapshot(self, capsys):
+        from repro.service.api import ExperimentService
+        from repro.service.client import ServiceClient
+
+        service = ExperimentService(
+            root=runtime_root(), port=0, workers=1, use_processes=False
+        )
+        host, port = service.start()
+        try:
+            client = ServiceClient(f"http://{host}:{port}")
+            job = client.submit("E6", quick=True, params={"pump_mw": 6.0})
+            client.wait(job["job_id"], timeout=60.0)
+            assert main(["metrics", "--json"]) == 0
+        finally:
+            service.stop()
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["counters"]["jobs.finished{status=done}"] == 1
+        assert "engine.run_seconds" in snapshot["histograms"]
+
+
+class TestTraceCommand:
+    def test_trace_by_run_id(self, capsys):
+        outcome = journaled_run()
+        assert main(["trace", outcome.run_id]) == 0
+        out = capsys.readouterr().out
+        assert "trace " in out
+        assert names.SPAN_ENGINE_RUN in out
+        assert outcome.run_id in out
+
+    def test_trace_by_experiment_json(self, capsys):
+        journaled_run()
+        assert main(["trace", "E6", "--json"]) == 0
+        spans = json.loads(capsys.readouterr().out)
+        assert names.SPAN_ENGINE_RUN in {s["name"] for s in spans}
+
+    def test_no_match_exits_nonzero(self, capsys):
+        journaled_run()
+        assert main(["trace", "nope"]) == 1
+        err = capsys.readouterr().err
+        assert "no spans matching 'nope'" in err
+
+
+class TestBenchReport:
+    def write_trajectory(self, directory, name="demo", runs=2):
+        entries = [
+            {
+                "schema": 1,
+                "recorded_unix": 1.7e9 + i,
+                "git_sha": f"abc{i}000000000",
+                "metrics": {"counters": {}},
+                "jobs_per_s": 50.0 + i,
+            }
+            for i in range(runs)
+        ]
+        path = directory / f"BENCH_{name}.json"
+        path.write_text(json.dumps(entries), encoding="utf-8")
+        return path
+
+    def test_renders_one_table_per_trajectory(self, tmp_path, capsys):
+        self.write_trajectory(tmp_path)
+        assert main(["bench-report", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_demo.json" in out
+        assert "jobs_per_s" in out
+        assert "abc1" in out  # newest git sha, truncated column
+
+    def test_json_dump_and_last_cap(self, tmp_path, capsys):
+        self.write_trajectory(tmp_path, runs=5)
+        assert main(
+            ["bench-report", "--dir", str(tmp_path), "--json"]
+        ) == 0
+        dumped = json.loads(capsys.readouterr().out)
+        assert len(dumped["BENCH_demo.json"]) == 5
+        assert main(
+            ["bench-report", "--dir", str(tmp_path), "--last", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "abc4" in out and "abc2" not in out
+
+    def test_empty_directory_fails(self, tmp_path, capsys):
+        assert main(["bench-report", "--dir", str(tmp_path)]) == 1
+        assert "no benchmark trajectories" in capsys.readouterr().err
+
+    def test_corrupt_files_skipped(self, tmp_path, capsys):
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        self.write_trajectory(tmp_path, name="good")
+        assert main(["bench-report", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_good.json" in out
+        assert "BENCH_bad.json" not in out
+
+
+class TestNumpyFreePath:
+    def test_metrics_never_imports_numpy(self):
+        journaled_run()
+        probe = (
+            "import sys\n"
+            "from repro.cli import main\n"
+            "rc = main(['metrics'])\n"
+            "assert rc == 0, rc\n"
+            "assert 'numpy' not in sys.modules, 'numpy leaked'\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(pathlib.Path("src").resolve())]
+            + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", probe],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=str(pathlib.Path(__file__).resolve().parents[2]),
+        )
+        assert result.returncode == 0, result.stderr

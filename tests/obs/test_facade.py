@@ -1,0 +1,134 @@
+"""The module façade: enablement, zero-cost paths, worker plumbing."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs import names
+from repro.obs.clock import ManualClock
+from repro.obs.journal import read_events
+from repro.obs.trace import NULL_SPAN
+
+
+class TestEnablement:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+        assert obs.span(names.SPAN_ENGINE_RUN) is NULL_SPAN
+        assert obs.context() is None
+        obs.count(names.METRIC_CACHE_HIT)
+        obs.event(names.EVENT_RUN_FINISHED)
+        assert obs.snapshot()["counters"] == {}
+
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("1", True),
+            ("true", True),
+            ("YES", True),
+            ("on", True),
+            ("0", False),
+            ("off", False),
+            ("False", False),
+            ("", None),
+            ("maybe", None),
+        ],
+    )
+    def test_env_preference_tristate(self, monkeypatch, raw, expected):
+        monkeypatch.setenv(obs.OBS_ENV_VAR, raw)
+        assert obs.env_preference() is expected
+
+    def test_env_enables_on_reset(self, monkeypatch):
+        monkeypatch.setenv(obs.OBS_ENV_VAR, "1")
+        assert obs.reset().enabled
+
+    def test_configure_toggles(self):
+        obs.configure(enabled=True)
+        assert obs.enabled()
+        obs.configure(enabled=False)
+        assert not obs.enabled()
+
+
+class TestJournalAttachment:
+    def test_first_root_wins(self, tmp_path):
+        obs.configure(enabled=True, root=tmp_path / "a")
+        obs.attach_root(tmp_path / "b")
+        assert obs.state().journal.root == tmp_path / "a"
+        assert read_events(tmp_path / "b") == []
+
+    def test_attach_is_noop_while_disabled(self, tmp_path):
+        obs.attach_root(tmp_path)
+        assert obs.state().journal is None
+        assert read_events(tmp_path) == []
+
+    def test_started_event_and_span_sink(self, tmp_path):
+        obs.configure(enabled=True, root=tmp_path)
+        with obs.span(names.SPAN_ENGINE_RUN, experiment="E6"):
+            pass
+        obs.event(names.EVENT_RUN_FINISHED, {"run_id": "r1"})
+        entries = read_events(tmp_path)
+        kinds = [(e["kind"], e["name"]) for e in entries]
+        assert kinds == [
+            ("event", names.EVENT_OBS_STARTED),
+            ("span", names.SPAN_ENGINE_RUN),
+            ("event", names.EVENT_RUN_FINISHED),
+        ]
+        snapshot = obs.snapshot()
+        assert snapshot["counters"]["journal.events"] == 3
+        assert snapshot["journal"].endswith("events.jsonl")
+
+    def test_manual_clock_drives_module_spans(self, tmp_path):
+        clock = ManualClock()
+        obs.configure(enabled=True, root=tmp_path, clock=clock)
+        with obs.span(names.SPAN_ENGINE_RUN):
+            clock.advance(2.5)
+        span_lines = [
+            e for e in read_events(tmp_path) if e["kind"] == "span"
+        ]
+        assert span_lines[0]["duration_s"] == 2.5
+
+
+class TestWorkerPlumbing:
+    def test_worker_scope_records_pid_prefixed_children(self):
+        context = {"trace_id": "p1-3", "span_id": "p1-4"}
+        with obs.worker_scope(
+            context, names.SPAN_POOL_EXECUTE, experiment="E6"
+        ) as scope:
+            pass
+        assert len(scope.spans) == 1
+        span = scope.spans[0]
+        assert span["span_id"] == f"w{os.getpid()}-1"
+        assert span["trace_id"] == "p1-3"
+        assert span["parent_id"] == "p1-4"
+        assert span["attrs"]["experiment"] == "E6"
+        assert span["attrs"]["pid"] == os.getpid()
+
+    def test_worker_scope_without_context_is_noop(self):
+        with obs.worker_scope(None, names.SPAN_POOL_EXECUTE) as scope:
+            pass
+        assert scope.spans == []
+
+    def test_replay_journals_worker_spans(self, tmp_path):
+        obs.configure(enabled=True, root=tmp_path)
+        with obs.worker_scope(
+            {"trace_id": "t", "span_id": "s"}, names.SPAN_POOL_EXECUTE
+        ) as scope:
+            pass
+        obs.replay(scope.spans)
+        spans = [e for e in read_events(tmp_path) if e["kind"] == "span"]
+        assert [s["name"] for s in spans] == [names.SPAN_POOL_EXECUTE]
+
+    def test_replay_noop_while_disabled(self, tmp_path):
+        obs.replay([{"name": names.SPAN_POOL_EXECUTE}])
+        assert read_events(tmp_path) == []
+
+    def test_module_context_matches_active_span(self):
+        obs.configure(enabled=True)
+        with obs.span(names.SPAN_ENGINE_SWEEP) as span:
+            assert obs.context() == {
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+            }
+        assert obs.context() is None

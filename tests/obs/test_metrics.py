@@ -1,0 +1,84 @@
+"""The metrics registry: series keys, determinism, fixed buckets."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import names
+from repro.obs.metrics import METRICS_SCHEMA, MetricsRegistry, series_key
+
+
+class TestSeriesKeys:
+    def test_bare_name_without_labels(self):
+        assert series_key("cache.hit", {}) == "cache.hit"
+
+    def test_labels_folded_sorted(self):
+        key = series_key("rpc.requests", {"ok": True, "method": "submit"})
+        assert key == "rpc.requests{method=submit,ok=True}"
+
+
+class TestRegistry:
+    def test_counters_accumulate_per_series(self):
+        registry = MetricsRegistry()
+        registry.count(names.METRIC_CACHE_HIT)
+        registry.count(names.METRIC_CACHE_HIT, 2)
+        registry.count(names.METRIC_RPC_REQUESTS, method="submit")
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {
+            "cache.hit": 3,
+            "rpc.requests{method=submit}": 1,
+        }
+
+    def test_gauges_keep_latest_value(self):
+        registry = MetricsRegistry()
+        registry.gauge(names.METRIC_QUEUE_DEPTH, 4)
+        registry.gauge(names.METRIC_QUEUE_DEPTH, 2)
+        assert registry.snapshot()["gauges"] == {"queue.depth": 2.0}
+
+    def test_histogram_buckets_and_summary(self):
+        registry = MetricsRegistry()
+        registry.observe(names.METRIC_ENGINE_RUN_SECONDS, 0.003)
+        registry.observe(names.METRIC_ENGINE_RUN_SECONDS, 0.003)
+        registry.observe(names.METRIC_ENGINE_RUN_SECONDS, 120.0)
+        document = registry.snapshot()["histograms"]["engine.run_seconds"]
+        assert document["count"] == 3
+        assert document["sum"] == 120.006
+        assert document["min"] == 0.003
+        assert document["max"] == 120.0
+        assert document["buckets"]["le=0.005"] == 2
+        assert document["buckets"]["overflow"] == 1
+        assert document["buckets"]["le=1"] == 0
+
+    def test_snapshot_is_deterministic_across_insert_order(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.count(names.METRIC_CACHE_HIT)
+        first.count(names.METRIC_CACHE_MISS)
+        second.count(names.METRIC_CACHE_MISS)
+        second.count(names.METRIC_CACHE_HIT)
+        assert json.dumps(first.snapshot(), sort_keys=True) == json.dumps(
+            second.snapshot(), sort_keys=True
+        )
+
+    def test_snapshot_carries_schema(self):
+        assert MetricsRegistry().snapshot()["schema"] == METRICS_SCHEMA
+
+    def test_unregistered_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.count("cache.hits")
+        with pytest.raises(ConfigurationError):
+            registry.gauge(names.METRIC_CACHE_HIT, 1.0)  # counter, not gauge
+        with pytest.raises(ConfigurationError):
+            registry.observe(names.METRIC_QUEUE_DEPTH, 1.0)
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.count(names.METRIC_CACHE_HIT)
+        registry.observe(names.METRIC_ENGINE_RUN_SECONDS, 1.0)
+        registry.reset()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["histograms"] == {}

@@ -1,0 +1,72 @@
+"""The central name registry: declarations, kinds, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import names
+
+
+class TestRegistryShape:
+    def test_metric_kinds_are_disjoint(self):
+        assert not names.COUNTERS & names.GAUGES
+        assert not names.COUNTERS & set(names.HISTOGRAMS)
+        assert not names.GAUGES & set(names.HISTOGRAMS)
+
+    def test_spans_and_events_do_not_collide_with_metrics(self):
+        metrics = names.COUNTERS | names.GAUGES | set(names.HISTOGRAMS)
+        assert not names.SPANS & metrics
+        assert not names.EVENTS & metrics
+        assert not names.SPANS & names.EVENTS
+
+    def test_names_are_dotted_layer_operation(self):
+        everything = (
+            names.SPANS
+            | names.EVENTS
+            | names.COUNTERS
+            | names.GAUGES
+            | set(names.HISTOGRAMS)
+        )
+        for name in everything:
+            assert "." in name and name == name.lower(), name
+
+    def test_histogram_boundaries_strictly_increase(self):
+        for boundaries in names.HISTOGRAMS.values():
+            assert list(boundaries) == sorted(set(boundaries))
+
+
+class TestValidators:
+    def test_every_declared_span_passes(self):
+        for name in names.SPANS:
+            assert names.require_span(name) == name
+
+    def test_unknown_span_rejected(self):
+        with pytest.raises(ConfigurationError, match="unregistered span"):
+            names.require_span("engine.zap")
+
+    def test_every_declared_metric_passes_its_kind(self):
+        for name in names.COUNTERS:
+            assert names.require_metric(name, "counter") == name
+        for name in names.GAUGES:
+            assert names.require_metric(name, "gauge") == name
+        for name in names.HISTOGRAMS:
+            assert names.require_metric(name, "histogram") == name
+
+    def test_cross_kind_use_rejected(self):
+        with pytest.raises(ConfigurationError):
+            names.require_metric(names.METRIC_CACHE_HIT, "histogram")
+        with pytest.raises(ConfigurationError):
+            names.require_metric(names.METRIC_QUEUE_WAIT_SECONDS, "counter")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            names.require_metric(names.METRIC_CACHE_HIT, "summary")
+
+    def test_every_declared_event_passes(self):
+        for name in names.EVENTS:
+            assert names.require_event(name) == name
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ConfigurationError, match="unregistered"):
+            names.require_event("run.exploded")

@@ -1,0 +1,66 @@
+"""Disabled telemetry must stay within noise of the uninstrumented cost."""
+
+from __future__ import annotations
+
+import statistics
+import time
+import timeit
+
+from repro import obs
+from repro.obs import names
+from repro.runtime.engine import RunEngine
+
+# Upper bound on obs façade calls a single cached engine.run makes:
+# the run and cache-lookup spans, the hit counter, the lookup
+# histogram, and headroom for future call sites.
+CALLS_PER_RUN = 10
+
+
+def best_of(fn, repeats=5):
+    return min(fn() for _ in range(repeats))
+
+
+def median_of(fn, repeats=20):
+    return statistics.median(fn() for _ in range(repeats))
+
+
+class TestDisabledOverhead:
+    def test_disabled_calls_cost_under_five_percent_of_cached_run(
+        self, tmp_path
+    ):
+        assert not obs.enabled()
+        engine = RunEngine(root=tmp_path)
+        engine.run("E6", quick=True, params={"pump_mw": 4.0})
+
+        def cached_run():
+            start = time.perf_counter()
+            outcome = engine.run("E6", quick=True, params={"pump_mw": 4.0})
+            assert outcome.cached
+            return time.perf_counter() - start
+
+        # Median, not min: the bound compares a typical cached run
+        # against the fastest observed façade calls, so suite-load
+        # noise can't flip the verdict.
+        run_s = median_of(cached_run)
+
+        loops = 10_000
+
+        def facade_pair():
+            with obs.span(names.SPAN_CACHE_LOOKUP):
+                pass
+            obs.count(names.METRIC_CACHE_HIT)
+
+        pair_s = best_of(
+            lambda: timeit.timeit(facade_pair, number=loops) / loops
+        )
+        # A façade "pair" is two calls; bound the whole per-run budget.
+        overhead_s = pair_s / 2 * CALLS_PER_RUN
+        assert overhead_s < 0.05 * run_s, (
+            f"disabled obs overhead {overhead_s:.6f}s exceeds 5% of "
+            f"cached run {run_s:.6f}s"
+        )
+
+    def test_disabled_span_allocates_nothing(self):
+        first = obs.span(names.SPAN_ENGINE_RUN, experiment="E6")
+        second = obs.span(names.SPAN_CACHE_LOOKUP)
+        assert first is second  # the shared NULL_SPAN singleton

@@ -1,0 +1,135 @@
+"""The span tracer: ids, nesting, timing, process-boundary context."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import names
+from repro.obs.trace import NULL_SPAN, SPAN_BUFFER, Tracer
+
+
+class TestSpanLifecycle:
+    def test_counter_based_ids_and_exact_duration(self, manual_clock):
+        tracer = Tracer(clock=manual_clock)
+        with tracer.span(names.SPAN_ENGINE_RUN, experiment="E6") as span:
+            manual_clock.advance(1.5)
+        assert span.span_id == "s1"
+        assert span.trace_id == "s1"
+        assert span.parent_id is None
+        assert span.duration_s == 1.5
+        assert span.status == "ok"
+
+    def test_nesting_links_parent_and_trace(self, manual_clock):
+        tracer = Tracer(clock=manual_clock)
+        with tracer.span(names.SPAN_ENGINE_SWEEP) as outer:
+            with tracer.span(names.SPAN_CACHE_LOOKUP) as inner:
+                manual_clock.advance(0.25)
+        assert inner.parent_id == outer.span_id
+        assert inner.trace_id == outer.trace_id == outer.span_id
+        assert outer.duration_s == 0.25
+
+    def test_sequential_spans_start_fresh_traces(self, manual_clock):
+        tracer = Tracer(clock=manual_clock)
+        with tracer.span(names.SPAN_ENGINE_RUN):
+            pass
+        with tracer.span(names.SPAN_ENGINE_RUN) as second:
+            pass
+        assert second.trace_id == "s2" and second.parent_id is None
+
+    def test_exception_marks_failed_and_propagates(self, manual_clock):
+        tracer = Tracer(clock=manual_clock)
+        with pytest.raises(RuntimeError):
+            with tracer.span(names.SPAN_ENGINE_RUN) as span:
+                raise RuntimeError("boom")
+        assert span.status == "failed"
+        assert tracer.context() is None  # stack unwound
+
+    def test_set_merges_attrs_mid_scope(self, manual_clock):
+        tracer = Tracer(clock=manual_clock)
+        with tracer.span(names.SPAN_ENGINE_RUN, experiment="E6") as span:
+            span.set(run_id="E6-abc", experiment="E7")
+        assert span.attrs == {"experiment": "E7", "run_id": "E6-abc"}
+
+    def test_to_event_document(self, manual_clock):
+        tracer = Tracer(clock=manual_clock)
+        with tracer.span(names.SPAN_ENGINE_RUN) as span:
+            manual_clock.advance(2.0)
+        assert span.to_event() == {
+            "name": names.SPAN_ENGINE_RUN,
+            "trace_id": "s1",
+            "span_id": "s1",
+            "parent_id": None,
+            "unix": manual_clock.wall() - 2.0,
+            "duration_s": 2.0,
+            "status": "ok",
+            "attrs": {},
+        }
+
+    def test_unregistered_name_rejected(self, manual_clock):
+        tracer = Tracer(clock=manual_clock)
+        with pytest.raises(ConfigurationError):
+            tracer.span("engine.zap")
+
+
+class TestContextAndCollection:
+    def test_context_inside_and_outside_spans(self, manual_clock):
+        tracer = Tracer(clock=manual_clock)
+        assert tracer.context() is None
+        with tracer.span(names.SPAN_ENGINE_SWEEP) as span:
+            assert tracer.context() == {
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+            }
+        assert tracer.context() is None
+
+    def test_adopted_context_parents_new_spans(self, manual_clock):
+        worker = Tracer(clock=manual_clock, prefix="w99-")
+        worker.adopt({"trace_id": "s7", "span_id": "s9"})
+        with worker.span(names.SPAN_POOL_EXECUTE) as span:
+            pass
+        assert span.span_id == "w99-1"
+        assert span.trace_id == "s7"
+        assert span.parent_id == "s9"
+        worker.adopt(None)
+        with worker.span(names.SPAN_POOL_EXECUTE) as fresh:
+            pass
+        assert fresh.parent_id is None
+
+    def test_drain_returns_documents_and_clears(self, manual_clock):
+        tracer = Tracer(clock=manual_clock)
+        with tracer.span(names.SPAN_ENGINE_RUN):
+            manual_clock.advance(1.0)
+        documents = tracer.drain()
+        assert [d["name"] for d in documents] == [names.SPAN_ENGINE_RUN]
+        assert documents[0]["duration_s"] == 1.0
+        assert tracer.drain() == []
+
+    def test_sink_sees_each_finished_span(self, manual_clock):
+        seen = []
+        tracer = Tracer(clock=manual_clock, sink=seen.append)
+        with tracer.span(names.SPAN_ENGINE_SWEEP):
+            with tracer.span(names.SPAN_CACHE_LOOKUP):
+                pass
+        assert [s.name for s in seen] == [
+            names.SPAN_CACHE_LOOKUP,
+            names.SPAN_ENGINE_SWEEP,
+        ]
+
+    def test_finished_buffer_is_bounded(self, manual_clock):
+        tracer = Tracer(clock=manual_clock)
+        for _ in range(SPAN_BUFFER + 10):
+            with tracer.span(names.SPAN_CACHE_LOOKUP):
+                pass
+        assert len(tracer.finished) == SPAN_BUFFER
+
+
+class TestNullSpan:
+    def test_full_span_surface_as_noop(self):
+        with NULL_SPAN as span:
+            assert span.set(anything=1) is NULL_SPAN
+
+    def test_never_swallows_exceptions(self):
+        with pytest.raises(ValueError):
+            with NULL_SPAN:
+                raise ValueError("propagates")
