@@ -470,7 +470,7 @@ def tomography_fidelity(context: AnalysisContext) -> dict[str, object]:
             if total == 0:
                 resampled[setting] = setting_counts
                 continue
-            resampled[setting] = child.child(setting).generator.multinomial(
+            resampled[setting] = child.child(setting).multinomial(
                 total, setting_counts / setting_counts.sum()
             )
         result = mle_tomography(resampled, 2, max_iterations=200)

@@ -1146,7 +1146,12 @@ def command_watch(args: argparse.Namespace) -> int:
     since = args.since
     try:
         while True:
-            events, since = client.events(since, timeout=30.0)
+            events, since, gap = client.events(since, timeout=30.0)
+            if gap:
+                print(
+                    "warning: some events were lost to journal "
+                    "compaction; resuming from the oldest retained event"
+                )
             for event in events:
                 print(_event_line(event))
                 if (

@@ -14,11 +14,15 @@ seed.  This rule machine-checks the invariant:
 * no legacy global seeding (``np.random.seed``, ``random.seed``) or
   legacy ``RandomState`` generators anywhere;
 * no ``RandomStream(<literal>)`` — streams are built from caller
-  seeds, not constants.
+  seeds, not constants;
+* no direct ``np.random.Philox`` construction — position-addressed
+  generators come from ``RandomStream.slice_generator(start, count)``,
+  which owns the counter/key derivation; a hand-built Philox would
+  silently fork the reproducibility contract.
 
 ``repro/utils/rng.py`` itself is exempt (it is the one place allowed
-to touch ``default_rng``), as are tests and examples, which live
-outside the ``repro`` package identity this rule scopes on.
+to touch ``default_rng`` and ``Philox``), as are tests and examples,
+which live outside the ``repro`` package identity this rule scopes on.
 """
 
 from __future__ import annotations
@@ -57,9 +61,10 @@ class RngDisciplineRule(Rule):
         "Random draws must flow from the caller's seed through "
         "repro.utils.rng.RandomStream.  Literal-seeded or unseeded "
         "default_rng calls, legacy np.random.seed / random.seed global "
-        "seeding, RandomState generators, and literal-seeded "
-        "RandomStream construction are flagged everywhere except "
-        "repro/utils/rng.py."
+        "seeding, RandomState generators, literal-seeded RandomStream "
+        "construction, and direct np.random.Philox construction "
+        "(slice_generator owns counter-based positioning) are flagged "
+        "everywhere except repro/utils/rng.py."
     )
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
@@ -99,6 +104,14 @@ class RngDisciplineRule(Rule):
                     self.rule_id,
                     f"global {name}(...) mutates process-wide RNG state; "
                     "use a repro.utils.rng.RandomStream instance instead",
+                )
+            elif tail == "Philox":
+                yield module.finding(
+                    node,
+                    self.rule_id,
+                    f"direct {name}(...) construction bypasses the "
+                    "counter-based key/position scheme; use "
+                    "RandomStream.slice_generator(start, count) instead",
                 )
             elif tail == "RandomState":
                 yield module.finding(

@@ -41,7 +41,8 @@ def run(
     Overrides: ``dwell_s`` sets the per-step integration time,
     ``num_steps`` the phase-scan density (>= 16 so the 2x-frequency
     fringe stays resolvable), ``impl`` the fringe-scan implementation
-    (``"vectorized"`` default, ``"loop"`` reference).
+    (``"vectorized"`` default, ``"loop"`` reference, ``"chunked"``
+    chunk-parallel).
     """
     impl = validate_impl("vectorized" if impl is None else impl, "E8 impl")
     scheme = MultiPhotonScheme()

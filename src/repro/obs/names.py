@@ -79,6 +79,13 @@ METRIC_RPC_REQUESTS = "rpc.requests"
 METRIC_ANALYZERS_RUN = "analysis.analyzers"
 #: Telemetry journal events written (counter).
 METRIC_JOURNAL_EVENTS = "journal.events"
+#: Monte-Carlo chunk tasks executed by the chunked backend (counter).
+METRIC_MC_CHUNKS = "mc.chunks"
+#: Event-feed long-polls answered from the queue journal because the
+#: requested ``since`` predates the in-memory buffer head (counter).
+METRIC_EVENTS_JOURNAL_FALLBACKS = "events.journal_fallbacks"
+#: Malformed queue-journal lines skipped at load/replay (counter).
+METRIC_QUEUE_JOURNAL_MALFORMED = "queue.journal_malformed"
 
 #: Every declared counter name.
 COUNTERS = frozenset(
@@ -91,6 +98,9 @@ COUNTERS = frozenset(
         METRIC_RPC_REQUESTS,
         METRIC_ANALYZERS_RUN,
         METRIC_JOURNAL_EVENTS,
+        METRIC_MC_CHUNKS,
+        METRIC_EVENTS_JOURNAL_FALLBACKS,
+        METRIC_QUEUE_JOURNAL_MALFORMED,
     }
 )
 
@@ -98,9 +108,17 @@ COUNTERS = frozenset(
 METRIC_MC_POINTS_PER_SECOND = "mc.points_per_second"
 #: Pending + running jobs at the last scheduler claim (gauge).
 METRIC_QUEUE_DEPTH = "queue.depth"
+#: Worker count the chunked backend resolved at its last dispatch (gauge).
+METRIC_MC_CHUNK_WORKERS = "mc.chunk_workers"
 
 #: Every declared gauge name.
-GAUGES = frozenset({METRIC_MC_POINTS_PER_SECOND, METRIC_QUEUE_DEPTH})
+GAUGES = frozenset(
+    {
+        METRIC_MC_POINTS_PER_SECOND,
+        METRIC_QUEUE_DEPTH,
+        METRIC_MC_CHUNK_WORKERS,
+    }
+)
 
 #: Seconds a job waited between submission and its claim (histogram).
 METRIC_QUEUE_WAIT_SECONDS = "queue.wait_seconds"

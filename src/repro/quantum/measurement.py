@@ -66,7 +66,7 @@ def sample_outcomes(
             f"projector set is incomplete (probabilities sum to {total:.6f}); "
             "sampling requires a complete set"
         )
-    return rng.generator.multinomial(shots, probabilities)
+    return rng.multinomial(shots, probabilities)
 
 
 def correlation_counts_to_expectation(counts: np.ndarray, parities: np.ndarray) -> float:

@@ -28,7 +28,11 @@ from repro.runtime.records import jsonify
 #: driver change alters results for an unchanged spec.  Schema 2: the
 #: fringe-scan bootstrap error is seeded from the experiment RNG instead
 #: of a hard-coded generator, changing E7/E8 records for old seeds.
-CACHE_SCHEMA = 2
+#: Schema 3: RandomStream became counter-based (Philox keys, one
+#: inverse-CDF uniform per draw position), so every sampled value —
+#: and therefore every record — differs from schema 2 for the same
+#: seed; old entries must not be served for new runs.
+CACHE_SCHEMA = 3
 
 
 def fingerprint(

@@ -332,10 +332,23 @@ class ExperimentService:
     def _rpc_events(
         self, since: int = 0, timeout: float = 0.0
     ) -> dict[str, object]:
-        """Long-poll the journal feed for events with seq > ``since``."""
-        events = self.store.wait_events(since, min(timeout, MAX_POLL_S))
-        latest = events[-1]["seq"] if events else since
-        return {"events": events, "seq": latest}
+        """Long-poll the journal feed for events with seq > ``since``.
+
+        The payload carries ``"gap": true`` when events between
+        ``since`` and the feed's start were lost to journal compaction,
+        so clients (``repro watch``) can warn instead of silently
+        skipping history.  On an all-lost gap the returned ``seq``
+        jumps to the store's head so pollers do not spin on the gap.
+        """
+        events, gap = self.store.wait_events(since, min(timeout, MAX_POLL_S))
+        if events:
+            latest = events[-1]["seq"]
+        else:
+            latest = self.store.seq if gap else since
+        payload: dict[str, object] = {"events": events, "seq": latest}
+        if gap:
+            payload["gap"] = True
+        return payload
 
     def _rpc_health(self) -> dict[str, object]:
         """Liveness snapshot: pid, uptime, worker and queue counts."""

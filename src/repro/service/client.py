@@ -211,14 +211,23 @@ class ServiceClient:
 
     def events(
         self, since: int = 0, timeout: float = 0.0
-    ) -> tuple[list[dict[str, object]], int]:
-        """Long-poll the event feed; returns ``(events, latest_seq)``."""
+    ) -> tuple[list[dict[str, object]], int, bool]:
+        """Long-poll the event feed.
+
+        Returns ``(events, latest_seq, gap)``; ``gap`` is True when
+        events between ``since`` and the feed's start were lost to
+        journal compaction on the server.
+        """
         result = self.call(
             "events",
             {"since": int(since), "timeout": timeout},
             timeout=timeout + _POLL_SLACK_S,
         )
-        return list(result.get("events", [])), int(result.get("seq", since))
+        return (
+            list(result.get("events", [])),
+            int(result.get("seq", since)),
+            bool(result.get("gap", False)),
+        )
 
     def health(self) -> dict[str, object]:
         """The daemon's liveness snapshot."""

@@ -105,11 +105,7 @@ class JobStore:
             except (OSError, ValueError, ConfigurationError):
                 continue  # torn or foreign file; jobs are single-writer
             self._jobs[job.job_id] = job
-        journal = [
-            entry
-            for entry in read_json_lines(self.journal_path)
-            if isinstance(entry, dict) and isinstance(entry.get("seq"), int)
-        ]
+        journal = self._journal_events()
         for entry in journal:
             self._seq = max(self._seq, entry["seq"])
             self._events.append(entry)
@@ -126,6 +122,26 @@ class JobStore:
             )
         if recover:
             self._recover()
+
+    def _journal_events(self) -> list[dict[str, object]]:
+        """Every well-formed journal entry, oldest first.
+
+        Entries without a valid integer ``seq`` are skipped — admitting
+        one would re-deliver it to every subscriber forever (any
+        coerced seq compares below every real cursor) — and counted in
+        the :data:`~repro.obs.names.METRIC_QUEUE_JOURNAL_MALFORMED`
+        counter so corruption is visible instead of silent.
+        """
+        entries: list[dict[str, object]] = []
+        malformed = 0
+        for entry in read_json_lines(self.journal_path):
+            if isinstance(entry, dict) and _valid_seq(entry.get("seq")):
+                entries.append(entry)
+            else:
+                malformed += 1
+        if malformed:
+            obs.count(obs_names.METRIC_QUEUE_JOURNAL_MALFORMED, malformed)
+        return entries
 
     def _recover(self) -> None:
         """Return orphaned ``running`` jobs to ``pending`` after a crash.
@@ -478,23 +494,61 @@ class JobStore:
             return self._seq
 
     def events_since(self, since: int) -> list[dict[str, object]]:
-        """Buffered events with ``seq > since`` (oldest first)."""
+        """Events with ``seq > since`` (oldest first).
+
+        Served from the in-memory buffer when it reaches back far
+        enough, otherwise re-read from the journal (see
+        :meth:`_feed_since`); events are only ever missing when journal
+        compaction has discarded them.
+        """
         with self._lock:
-            return [e for e in self._events if e.get("seq", 0) > since]
+            return self._feed_since(since)[0]
+
+    def _feed_since(
+        self, since: int
+    ) -> tuple[list[dict[str, object]], bool]:
+        """``(events with seq > since, gap)``; caller holds the lock.
+
+        The bounded in-memory buffer only retains the newest
+        :data:`EVENT_BUFFER` events, so a long-poller resuming with a
+        ``since`` older than the buffer head would silently lose the
+        evicted span.  Every buffered event is first written to the
+        journal, so the journal is a superset: when the buffer does not
+        reach back to ``since`` the feed falls back to re-reading it.
+        ``gap`` is True only when events are irrecoverably gone — the
+        recovered feed still does not start at ``since + 1`` (journal
+        compaction dropped the span) — so subscribers can warn instead
+        of silently skipping history.
+        """
+        if self._events and self._events[0]["seq"] <= since + 1:
+            return [e for e in self._events if e["seq"] > since], False
+        if self._seq <= since:
+            return [], False
+        obs.count(obs_names.METRIC_EVENTS_JOURNAL_FALLBACKS)
+        events = [
+            e for e in self._journal_events() if e["seq"] > since
+        ]
+        gap = not events or events[0]["seq"] > since + 1
+        return events, gap
 
     def wait_events(
         self, since: int, timeout: float = 0.0
-    ) -> list[dict[str, object]]:
-        """Long-poll: block up to ``timeout`` seconds for new events."""
+    ) -> tuple[list[dict[str, object]], bool]:
+        """Long-poll: block up to ``timeout`` seconds for new events.
+
+        Returns ``(events, gap)``; ``gap`` marks that events between
+        ``since`` and the first returned event were lost to journal
+        compaction (see :meth:`_feed_since`).
+        """
         deadline = time.monotonic() + max(0.0, timeout)
         with self._changed:
             while True:
-                fresh = [e for e in self._events if e.get("seq", 0) > since]
-                if fresh:
-                    return fresh
+                fresh, gap = self._feed_since(since)
+                if fresh or gap:
+                    return fresh, gap
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
-                    return []
+                    return [], False
                 self._changed.wait(remaining)
 
     def wait_job(self, job_id: int, timeout: float = 0.0) -> Job:
@@ -580,6 +634,11 @@ class JobStore:
                 if other.status in (PENDING, RUNNING)
             )
             obs.gauge(obs_names.METRIC_QUEUE_DEPTH, depth)
+
+
+def _valid_seq(value: object) -> bool:
+    """Whether a journal ``seq`` is a real integer (bools excluded)."""
+    return isinstance(value, int) and not isinstance(value, bool)
 
 
 def _is_zombie(pid: int) -> bool:

@@ -1,0 +1,136 @@
+"""Chunk-parallel execution for the ``impl="chunked"`` backend.
+
+The counter-based :class:`repro.utils.rng.RandomStream` makes any draw
+range independently computable, so Monte-Carlo work can be split into
+per-core chunks and reassembled bit-identically.  This module owns the
+mechanics: resolving a worker count, partitioning an index range, and
+mapping a picklable task function over chunk descriptors through one
+shared process pool.
+
+The pool is process-based (the hot paths are numpy-heavy but spend
+real time in Python-level orchestration, so threads would serialize on
+the GIL) and shared across call sites: chunked backends are invoked
+per sweep point, and paying a pool spawn per point would erase the
+win.  With a single resolved worker the map degrades to an inline loop
+— no pool, no pickling — so ``impl="chunked"`` is safe (just not
+faster) on one-core machines.
+
+Set ``REPRO_CHUNK_WORKERS`` to pin the worker count (tests use it to
+force the pool path on any machine).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro import obs
+from repro.obs import names as obs_names
+
+_T = TypeVar("_T")
+
+#: Fallback chunk size when a caller gives no per-task cost hint:
+#: small enough to load every core on realistic sweep points, large
+#: enough that per-task pickling stays in the noise.
+DEFAULT_CHUNK_SIZE = 65_536
+
+#: Environment override for the resolved worker count.
+WORKERS_ENV = "REPRO_CHUNK_WORKERS"
+
+_pool: ProcessPoolExecutor | None = None
+_pool_workers = 0
+
+
+def default_workers() -> int:
+    """The worker count the chunked backend will use.
+
+    ``REPRO_CHUNK_WORKERS`` wins when set (minimum 1); otherwise the
+    scheduler-visible CPU count (``sched_getaffinity`` where available,
+    so container CPU limits are respected).
+    """
+    override = os.environ.get(WORKERS_ENV, "").strip()
+    if override:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            pass
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def chunk_ranges(
+    total: int,
+    chunk_size: int | None = None,
+    workers: int | None = None,
+) -> list[tuple[int, int]]:
+    """Half-open ``(start, stop)`` chunks covering ``[0, total)``.
+
+    The chunk size defaults to ``total / workers`` capped at
+    ``chunk_size`` (or :data:`DEFAULT_CHUNK_SIZE`), so small inputs
+    yield one chunk per worker and large inputs yield enough chunks to
+    keep the pool balanced when chunk costs vary.
+    """
+    if total <= 0:
+        return []
+    workers = default_workers() if workers is None else max(1, workers)
+    cap = DEFAULT_CHUNK_SIZE if chunk_size is None else max(1, chunk_size)
+    size = max(1, min(cap, -(-total // workers)))
+    return [(start, min(start + size, total)) for start in range(0, total, size)]
+
+
+def _shared_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared pool, (re)built when the worker target changes."""
+    global _pool, _pool_workers
+    if _pool is None or _pool_workers != workers:
+        if _pool is not None:
+            _pool.shutdown(wait=False, cancel_futures=True)
+        _pool = ProcessPoolExecutor(max_workers=workers)
+        _pool_workers = workers
+    return _pool
+
+
+def _shutdown_pool() -> None:
+    """Tear the shared pool down (atexit, and after a broken pool)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=False, cancel_futures=True)
+        _pool = None
+        _pool_workers = 0
+
+
+atexit.register(_shutdown_pool)
+
+
+def map_chunks(
+    task: Callable[..., _T],
+    argument_tuples: Sequence[tuple] | Iterable[tuple],
+    workers: int | None = None,
+) -> list[_T]:
+    """``[task(*args) for args in argument_tuples]``, chunk-parallel.
+
+    Results come back in submission order regardless of completion
+    order, so reassembly is deterministic.  With one resolved worker
+    the map runs inline (no pool, no pickling); a worker lost
+    mid-flight (``BrokenProcessPool``) tears the shared pool down and
+    replays the whole map inline rather than failing the sweep.
+    """
+    tasks = list(argument_tuples)
+    if not tasks:
+        return []
+    workers = default_workers() if workers is None else max(1, workers)
+    obs.gauge(obs_names.METRIC_MC_CHUNK_WORKERS, workers)
+    obs.count(obs_names.METRIC_MC_CHUNKS, len(tasks))
+    if workers == 1 or len(tasks) == 1:
+        return [task(*args) for args in tasks]
+    pool = _shared_pool(workers)
+    try:
+        futures = [pool.submit(task, *args) for args in tasks]
+        return [future.result() for future in futures]
+    except BrokenProcessPool:  # pragma: no cover - worker OOM/kill
+        _shutdown_pool()
+        return [task(*args) for args in tasks]

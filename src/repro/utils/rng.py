@@ -1,17 +1,91 @@
-"""Seeded random-number streams.
+"""Counter-based seeded random-number streams.
 
-Every stochastic component in the library draws from a :class:`RandomStream`
-so that experiments are reproducible end-to-end from a single integer seed.
-Child streams are derived deterministically by hashing a label, which keeps
-independent subsystems (e.g. the two detectors of a coincidence setup)
+Every stochastic component in the library draws from a
+:class:`RandomStream` so that experiments are reproducible end-to-end
+from a single integer seed.  Child streams are derived
+deterministically by hashing a label, which keeps independent
+subsystems (e.g. the two detectors of a coincidence setup)
 statistically independent while remaining replayable.
+
+Since the chunk-parallel backend landed, a stream is *counter-based*
+(the Philox idiom of splittable PRNGs): a stream is fully described by
+a 128-bit key, and draw number ``i`` of the stream is a pure function
+of ``(key, i)``.  :meth:`RandomStream.slice_generator` hands out a
+generator positioned at any draw index, so positions ``[start,
+start + count)`` produce the same values no matter how the index range
+is partitioned across workers.
+
+To make *distribution* draws position-addressable too, every sampler
+consumes **exactly one uniform per output element** and maps it through
+the distribution's inverse CDF (the ``*_from_uniforms`` helpers below).
+numpy's own rejection/ziggurat samplers consume a variable number of
+underlying draws per output, which would break slice invariance.  The
+trade-off is that a given seed produces different values than the
+pre-counter-based scheme did — which is why ``CACHE_SCHEMA`` was
+bumped when this landed.
+
+The sequential API (:meth:`poisson`, :meth:`normal`, ...) is
+unchanged: a stream keeps a cursor and advances it by the number of
+output elements, so sequential use remains as convenient as before
+while staying bit-identical to any chunked replay of the same
+positions.
 """
 
 from __future__ import annotations
 
 import hashlib
+import secrets
 
 import numpy as np
+
+#: Philox-4x64 emits four 64-bit words per counter increment, and
+#: ``Philox.advance(n)`` skips *blocks*, not words.  Positioning at an
+#: arbitrary draw index therefore advances ``index // 4`` blocks and
+#: discards ``index % 4`` draws from the wrapping generator (each
+#: ``Generator.random()`` double consumes exactly one 64-bit word).
+_PHILOX_BLOCK = 4
+
+#: Smallest positive double.  Uniform draws live on ``[0, 1)`` and can
+#: be exactly ``0.0``; the discrete inverse CDFs (``poisson.ppf``,
+#: ``binom.ppf``) return ``-1`` at ``0.0`` and ``ndtri`` returns
+#: ``-inf``, so samplers clamp to this subnormal first.
+_MIN_UNIFORM = 5e-324
+
+# Lazily-imported scipy callables (scipy.stats is slow to import and
+# the light CLI paths never sample distributions).
+_NDTRI = None
+_POISSON_PPF = None
+_BINOM_PPF = None
+
+
+def _ndtri():
+    """The standard-normal inverse CDF, imported on first use."""
+    global _NDTRI
+    if _NDTRI is None:
+        from scipy.special import ndtri
+
+        _NDTRI = ndtri
+    return _NDTRI
+
+
+def _poisson_ppf():
+    """``scipy.stats.poisson.ppf``, imported on first use."""
+    global _POISSON_PPF
+    if _POISSON_PPF is None:
+        from scipy.stats import poisson
+
+        _POISSON_PPF = poisson.ppf
+    return _POISSON_PPF
+
+
+def _binom_ppf():
+    """``scipy.stats.binom.ppf``, imported on first use."""
+    global _BINOM_PPF
+    if _BINOM_PPF is None:
+        from scipy.stats import binom
+
+        _BINOM_PPF = binom.ppf
+    return _BINOM_PPF
 
 
 def derive_seed(base_seed: int, label: str) -> int:
@@ -24,69 +98,332 @@ def derive_seed(base_seed: int, label: str) -> int:
     return int.from_bytes(digest[:8], "little")
 
 
+def derive_key(base_seed: int, label: str) -> int:
+    """The 128-bit Philox key for a seeded stream ``(base_seed, label)``.
+
+    Like :func:`derive_seed` this is stable across processes: the key is
+    the first 16 bytes (little-endian) of ``sha256(f"{seed}:{label}")``,
+    so a stream's draws are a pure function of the seed and the full
+    slash-joined label path.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{label}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:16], "little")
+
+
+def _fold_key(parent_key: int, label: str) -> int:
+    """Fold a child ``label`` into a realized parent key.
+
+    Used for unseeded streams, whose root key comes from OS entropy:
+    children derive from the parent's *realized* key rather than from
+    fresh entropy, so one unseeded run is still internally
+    self-consistent (sibling streams are replayable relative to each
+    other within the process, and a pickled stream replays exactly).
+    """
+    material = parent_key.to_bytes(16, "little") + b"/" + label.encode("utf-8")
+    return int.from_bytes(hashlib.sha256(material).digest()[:16], "little")
+
+
+# ---------------------------------------------------------------------------
+# Inverse-CDF samplers: one uniform in, one value out, per position.
+# Module-level so chunk workers in other processes share the exact
+# float operations with the sequential paths (bit-identical results).
+# ---------------------------------------------------------------------------
+
+def uniform_from_uniforms(u, low=0.0, high=1.0):
+    """Map unit uniforms onto ``[low, high)``."""
+    return low + u * (high - low)
+
+
+def exponential_from_uniforms(u, scale=1.0):
+    """Map unit uniforms to exponential draws with mean ``scale``."""
+    return -scale * np.log1p(-u)
+
+
+def normal_from_uniforms(u, loc=0.0, scale=1.0):
+    """Map unit uniforms to Gaussian draws via the inverse CDF."""
+    return loc + scale * _ndtri()(np.clip(u, _MIN_UNIFORM, None))
+
+
+def poisson_from_uniforms(u, lam):
+    """Map unit uniforms to Poisson draws via the inverse CDF."""
+    values = _poisson_ppf()(np.clip(u, _MIN_UNIFORM, None), lam)
+    return np.asarray(values).astype(np.int64)
+
+
+def binomial_from_uniforms(u, n, p):
+    """Map unit uniforms to binomial draws via the inverse CDF."""
+    values = _binom_ppf()(np.clip(u, _MIN_UNIFORM, None), n, p)
+    return np.asarray(values).astype(np.int64)
+
+
+def integers_from_uniforms(u, low, high):
+    """Map unit uniforms to integer draws on ``[low, high)``."""
+    return (low + np.floor(u * (high - low))).astype(np.int64)
+
+
+def choice_cdf(p) -> np.ndarray:
+    """The normalized inclusive CDF of a probability vector ``p``.
+
+    Precompute once per distribution and reuse across chunks — the
+    normalization makes ``cdf[-1] == 1.0`` exactly, so every uniform on
+    ``[0, 1)`` maps to a valid index.
+    """
+    cdf = np.cumsum(np.asarray(p, dtype=float))
+    if cdf.size == 0 or not cdf[-1] > 0:
+        raise ValueError("choice probabilities must have positive mass")
+    return cdf / cdf[-1]
+
+
+def choice_indices_from_uniforms(u, cdf):
+    """Map unit uniforms to indices distributed per ``choice_cdf(p)``."""
+    return np.searchsorted(cdf, u, side="right")
+
+
+def _as_shape(size) -> tuple[int, ...] | None:
+    """Normalize a numpy-style ``size`` argument to a shape tuple."""
+    if size is None:
+        return None
+    if np.ndim(size) == 0:
+        return (int(size),)
+    return tuple(int(s) for s in size)
+
+
 class RandomStream:
-    """A labelled, seedable wrapper around :class:`numpy.random.Generator`.
+    """A labelled, seedable, counter-based random stream.
 
     Parameters
     ----------
     seed:
-        Base seed.  ``None`` draws entropy from the OS (non-reproducible).
+        Base seed.  ``None`` draws a root key from OS entropy
+        (non-reproducible across runs); see :meth:`child` for the
+        within-run self-consistency contract.
     label:
-        Optional label mixed into the seed so sibling streams differ.
+        Optional label mixed into the key so sibling streams differ.
+
+    A stream is defined by a 128-bit Philox key; draw position ``i`` is
+    a pure function of ``(key, i)``.  Sequential draws advance an
+    internal cursor, while :meth:`slice_generator` /
+    :meth:`slice_uniforms` address any position range directly, so
+    chunked and sequential consumers of the same stream see identical
+    values.  Streams pickle cheaply (key, label, seed, cursor) for use
+    with process pools.
     """
 
     def __init__(self, seed: int | None = 0, label: str = "root") -> None:
         self.seed = seed
         self.label = label
         if seed is None:
-            self._generator = np.random.default_rng()
+            self._key = secrets.randbits(128)
         else:
-            self._generator = np.random.default_rng(derive_seed(seed, label))
+            self._key = derive_key(seed, label)
+        self._pos = 0
+        self._live: np.random.Generator | None = None
 
     @property
-    def generator(self) -> np.random.Generator:
-        """The underlying numpy generator."""
-        return self._generator
+    def key(self) -> int:
+        """The stream's 128-bit Philox key."""
+        return self._key
+
+    @property
+    def position(self) -> int:
+        """The sequential cursor: how many draws have been consumed."""
+        return self._pos
 
     def child(self, label: str) -> "RandomStream":
-        """Create an independent child stream identified by ``label``."""
-        if self.seed is None:
-            return RandomStream(None, label=f"{self.label}/{label}")
-        return RandomStream(self.seed, label=f"{self.label}/{label}")
+        """Create an independent child stream identified by ``label``.
 
-    # Thin pass-throughs for the draws the library actually uses. Keeping the
-    # surface small makes it easy to audit which distributions are sampled.
+        Seeded parents derive the child key from ``(seed, joined
+        label)``, so children are replayable across processes from the
+        base seed alone.  Unseeded parents (``seed=None``) fold the
+        label into their *realized* entropy instead of drawing fresh
+        entropy per child: the run as a whole is not reproducible, but
+        within it sibling children are deterministic functions of the
+        root key, so pickled streams and chunk workers replay
+        consistently.
+        """
+        child = RandomStream.__new__(RandomStream)
+        child.seed = self.seed
+        child.label = f"{self.label}/{label}"
+        if self.seed is None:
+            child._key = _fold_key(self._key, label)
+        else:
+            child._key = derive_key(self.seed, child.label)
+        child._pos = 0
+        child._live = None
+        return child
+
+    # ------------------------------------------------------------------
+    # Position addressing
+    # ------------------------------------------------------------------
+    def _generator_at(self, position: int) -> np.random.Generator:
+        """A generator whose next draw is stream position ``position``."""
+        bit_generator = np.random.Philox(key=self._key)
+        blocks, remainder = divmod(int(position), _PHILOX_BLOCK)
+        if blocks:
+            bit_generator.advance(blocks)
+        generator = np.random.Generator(bit_generator)
+        if remainder:
+            generator.random(remainder)  # discard to mid-block alignment
+        return generator
+
+    def slice_generator(
+        self, start: int, count: int | None = None
+    ) -> np.random.Generator:
+        """A generator positioned at draw index ``start``.
+
+        The next ``count`` uniform doubles it produces are exactly
+        stream positions ``[start, start + count)`` — identical no
+        matter how the position range is chunked.  ``count`` is
+        advisory (it documents and validates the slice width; the
+        generator itself is unbounded).  Only ``Generator.random``
+        preserves the one-word-per-draw position mapping; distribution
+        draws should go through the ``*_from_uniforms`` helpers.
+        """
+        if start < 0:
+            raise ValueError(f"slice start must be >= 0, got {start}")
+        if count is not None and count < 0:
+            raise ValueError(f"slice count must be >= 0, got {count}")
+        return self._generator_at(start)
+
+    def slice_uniforms(self, start: int, count: int) -> np.ndarray:
+        """Uniform draws for stream positions ``[start, start + count)``."""
+        if count is None or count < 0:
+            raise ValueError(f"slice count must be >= 0, got {count}")
+        return self.slice_generator(start, count).random(count)
+
+    # ------------------------------------------------------------------
+    # Sequential cursor
+    # ------------------------------------------------------------------
+    def _uniforms(self, count: int) -> np.ndarray:
+        """The next ``count`` uniforms, advancing the cursor."""
+        if count < 0:
+            raise ValueError(f"draw count must be >= 0, got {count}")
+        if self._live is None:
+            self._live = self._generator_at(self._pos)
+        values = self._live.random(count)
+        self._pos += count
+        return values
+
+    def _mapped(self, size, params, mapper):
+        """Draw one uniform per output element and map it.
+
+        ``size=None`` broadcasts the parameter shapes (matching numpy's
+        Generator semantics); scalar parameters then yield a scalar.
+        """
+        shape = _as_shape(size)
+        if shape is None:
+            shape = np.broadcast_shapes(*(np.shape(p) for p in params))
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        u = self._uniforms(count).reshape(shape)
+        values = mapper(u, *params)
+        return values[()] if shape == () else values
+
+    # ------------------------------------------------------------------
+    # Distribution draws. Keeping the surface small makes it easy to
+    # audit which distributions are sampled; each consumes exactly one
+    # uniform position per output element.
+    # ------------------------------------------------------------------
     def poisson(self, lam, size=None):
         """Poisson draw(s) with mean ``lam``."""
-        return self._generator.poisson(lam, size)
+        return self._mapped(size, (lam,), poisson_from_uniforms)
 
     def uniform(self, low=0.0, high=1.0, size=None):
         """Uniform draw(s) on [low, high)."""
-        return self._generator.uniform(low, high, size)
+        return self._mapped(size, (low, high), uniform_from_uniforms)
 
     def normal(self, loc=0.0, scale=1.0, size=None):
         """Gaussian draw(s)."""
-        return self._generator.normal(loc, scale, size)
+        return self._mapped(size, (loc, scale), normal_from_uniforms)
 
     def exponential(self, scale=1.0, size=None):
         """Exponential draw(s) with the given scale (mean)."""
-        return self._generator.exponential(scale, size)
+        return self._mapped(size, (scale,), exponential_from_uniforms)
 
     def choice(self, options, size=None, p=None):
         """Draw from ``options`` with optional probabilities ``p``."""
-        return self._generator.choice(options, size=size, p=p)
+        values = np.asarray(options)
+        if values.ndim == 0:
+            values = np.arange(int(options))
+        if p is None:
+            indices = self._mapped(
+                size, (0, values.size), integers_from_uniforms
+            )
+        else:
+            cdf = choice_cdf(p)
+            shape = _as_shape(size) or ()
+            count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            u = self._uniforms(count).reshape(shape)
+            indices = choice_indices_from_uniforms(u, cdf)
+            indices = indices[()] if shape == () else indices
+        return values[indices]
 
     def binomial(self, n, p, size=None):
         """Binomial draw(s)."""
-        return self._generator.binomial(n, p, size)
+        return self._mapped(size, (n, p), binomial_from_uniforms)
 
     def random(self, size=None):
         """Uniform draw(s) on [0, 1)."""
-        return self._generator.random(size)
+        if size is None:
+            return float(self._uniforms(1)[0])
+        shape = _as_shape(size)
+        count = int(np.prod(shape, dtype=np.int64))
+        return self._uniforms(count).reshape(shape)
 
     def integers(self, low, high=None, size=None):
-        """Integer draw(s) in [low, high)."""
-        return self._generator.integers(low, high, size)
+        """Integer draw(s) in [low, high) (or [0, low) like numpy)."""
+        if high is None:
+            low, high = 0, low
+        return self._mapped(size, (low, high), integers_from_uniforms)
+
+    def multinomial(self, n, pvals):
+        """One multinomial draw as an ``int64`` array of counts.
+
+        Decomposed into conditional binomials via the inverse CDF, so
+        it consumes exactly ``len(pvals) - 1`` uniform positions no
+        matter which counts come out.
+        """
+        pvals = np.asarray(pvals, dtype=float)
+        counts = np.zeros(pvals.size, dtype=np.int64)
+        if pvals.size == 0:
+            return counts
+        u = self._uniforms(pvals.size - 1)
+        remaining = int(n)
+        rest = float(pvals.sum())
+        for i in range(pvals.size - 1):
+            rest -= float(pvals[i])
+            total = float(pvals[i]) + max(rest, 0.0)
+            conditional = float(pvals[i]) / total if total > 0.0 else 0.0
+            draw = int(
+                binomial_from_uniforms(
+                    np.asarray(u[i]), remaining, min(max(conditional, 0.0), 1.0)
+                )
+            )
+            counts[i] = draw
+            remaining -= draw
+        counts[-1] = remaining
+        return counts
+
+    # ------------------------------------------------------------------
+    # Pickling: a stream is (key, label, seed, cursor); the live
+    # generator is rebuilt lazily at the saved cursor position.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict[str, object]:
+        return {
+            "seed": self.seed,
+            "label": self.label,
+            "key": self._key,
+            "pos": self._pos,
+        }
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.seed = state["seed"]
+        self.label = state["label"]
+        self._key = state["key"]
+        self._pos = state["pos"]
+        self._live = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"RandomStream(seed={self.seed!r}, label={self.label!r})"
+        return (
+            f"RandomStream(seed={self.seed!r}, label={self.label!r}, "
+            f"position={self._pos})"
+        )

@@ -130,7 +130,7 @@ class TestAcceptanceBatch:
         seen_statuses: dict[int, list[str]] = {}
         seq = 0
         for _ in range(400):
-            events, seq = client.events(seq, timeout=2.0)
+            events, seq, _gap = client.events(seq, timeout=2.0)
             if not events:
                 snapshot = client.queue()["counts"]
                 if not snapshot.get(PENDING) and not snapshot.get("running"):
@@ -212,6 +212,35 @@ class TestRecovery:
                          priority=priority)
         reopened = JobStore(root, recover=True)
         assert [j.priority for j in reopened.jobs(PENDING)] == [9, 5, 1]
+
+
+class TestEventFeedGap:
+    """Journal loss is surfaced on the wire, and the cursor cannot spin."""
+
+    def test_gap_surfaced_and_cursor_jumps_to_head(self, service, client):
+        job = client.submit("E6", quick=True)
+        client.wait(job["job_id"], timeout=60.0)
+        store = service.store
+        with store._lock:
+            # Simulate compaction having discarded the whole history:
+            # empty buffer, empty journal, seq counter still advanced.
+            store._events.clear()
+            store.journal_path.write_text("", encoding="utf-8")
+            head = store.seq
+        events, latest, gap = client.events(0, timeout=2.0)
+        assert gap and events == []
+        # The returned cursor jumps to the head so the next poll waits
+        # for genuinely new events instead of re-reporting the gap.
+        assert latest == head
+        events, latest, gap = client.events(latest, timeout=0.2)
+        assert events == [] and not gap and latest == head
+
+    def test_normal_feed_reports_no_gap(self, service, client):
+        job = client.submit("E6", quick=True)
+        client.wait(job["job_id"], timeout=60.0)
+        events, latest, gap = client.events(0, timeout=2.0)
+        assert events and not gap
+        assert latest == events[-1]["seq"]
 
 
 class TestRequeue:

@@ -230,13 +230,13 @@ class TestEventsAndWaiting:
         assert len(fresh) == 1 and fresh[0]["experiment_id"] == "E7"
 
     def test_wait_events_times_out_empty(self, store):
-        assert store.wait_events(store.seq, timeout=0.05) == []
+        assert store.wait_events(store.seq, timeout=0.05) == ([], False)
 
     def test_wait_events_wakes_on_submit(self, store):
         results = []
 
         def waiter():
-            results.extend(store.wait_events(store.seq, timeout=5.0))
+            results.extend(store.wait_events(store.seq, timeout=5.0)[0])
 
         thread = threading.Thread(target=waiter)
         thread.start()
@@ -263,3 +263,101 @@ class TestEventsAndWaiting:
         store.claim()
         counts = store.snapshot()["counts"]
         assert counts == {"pending": 1, "running": 1}
+
+
+class TestJournalFallbackAndGaps:
+    """Long-poll feed: buffer eviction, journal fallback, loss gaps."""
+
+    def test_buffer_eviction_recovers_from_journal(self, root, monkeypatch):
+        import repro.service.store as store_module
+
+        monkeypatch.setattr(store_module, "EVENT_BUFFER", 4)
+        store = JobStore(root)
+        for _ in range(10):
+            store.submit("E6", dedupe=False)
+        assert len(store._events) == 4  # the buffer really evicted
+        # A subscriber resuming before the buffer head still gets the
+        # full history (journal fallback), and it is not flagged as a
+        # gap because nothing was actually lost.
+        fresh, gap = store.wait_events(0, timeout=0.0)
+        assert [e["seq"] for e in fresh] == list(range(1, 11))
+        assert not gap
+
+    def test_journal_fallback_counted_in_obs(self, root, monkeypatch):
+        import repro.service.store as store_module
+
+        from repro import obs
+        from repro.obs import names as obs_names
+
+        monkeypatch.setattr(store_module, "EVENT_BUFFER", 2)
+        store = JobStore(root)
+        for _ in range(5):
+            store.submit("E6", dedupe=False)
+        obs.reset()  # drop counters accumulated by earlier tests
+        obs.configure(enabled=True)
+        try:
+            store.events_since(0)
+            counters = obs.snapshot()["counters"]
+            assert counters.get(
+                obs_names.METRIC_EVENTS_JOURNAL_FALLBACKS
+            ) == 1
+        finally:
+            obs.reset()
+
+    def test_compaction_gap_is_flagged(self, root, monkeypatch):
+        import time
+
+        import repro.service.store as store_module
+
+        store = JobStore(root)
+        job, _ = store.submit("E6")
+        for _ in range(30):
+            store.update_progress(job, 0, 1)
+        monkeypatch.setattr(store_module, "JOURNAL_COMPACT_LINES", 10)
+        monkeypatch.setattr(store_module, "EVENT_BUFFER", 5)
+        reopened = JobStore(root)  # open compacts the journal to 5 lines
+        started = time.monotonic()
+        fresh, gap = reopened.wait_events(0, timeout=5.0)
+        # Events 1..seq-5 are irrecoverably gone: flagged immediately,
+        # not after the long-poll timeout.
+        assert gap and time.monotonic() - started < 1.0
+        assert fresh and fresh[0]["seq"] == reopened.seq - 4
+        # A cursor inside the retained span sees no gap.
+        tail, tail_gap = reopened.wait_events(reopened.seq - 1, timeout=0.0)
+        assert len(tail) == 1 and not tail_gap
+
+    def test_malformed_journal_entries_skipped(self, root):
+        from repro.service.store import _valid_seq
+
+        store = JobStore(root)
+        store.submit("E6")
+        good_seq = store.seq
+        with store.journal_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"event": "x"}\n')  # missing seq
+            handle.write('{"seq": "7", "event": "x"}\n')  # string seq
+            handle.write('{"seq": true, "event": "x"}\n')  # bool seq
+            handle.write('[1, 2]\n')  # not an object
+        reopened = JobStore(root)
+        assert reopened.seq == good_seq
+        events = reopened.events_since(0)
+        assert events and all(_valid_seq(e["seq"]) for e in events)
+
+    def test_malformed_journal_entries_counted_in_obs(self, root):
+        from repro import obs
+        from repro.obs import names as obs_names
+
+        store = JobStore(root)
+        store.submit("E6")
+        with store.journal_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"seq": "oops"}\n')
+            handle.write('{"seq": null}\n')
+        obs.reset()  # drop counters accumulated by earlier tests
+        obs.configure(enabled=True)
+        try:
+            JobStore(root)
+            counters = obs.snapshot()["counters"]
+            assert counters.get(
+                obs_names.METRIC_QUEUE_JOURNAL_MALFORMED
+            ) == 2
+        finally:
+            obs.reset()

@@ -1,0 +1,69 @@
+"""Chunk partitioning and the shared pool behind ``impl="chunked"``."""
+
+import os
+
+import pytest
+
+from repro.utils import chunking
+from repro.utils.chunking import chunk_ranges, default_workers, map_chunks
+
+
+def _double(x):
+    """Module-level so the pool can pickle it."""
+    return 2 * x
+
+
+class TestChunkRanges:
+    def test_covers_range_without_overlap(self):
+        for total in (1, 7, 100, 65_537, 1_000_000):
+            ranges = chunk_ranges(total, workers=4)
+            assert ranges[0][0] == 0 and ranges[-1][1] == total
+            for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+                assert stop == start
+
+    def test_small_input_gives_one_chunk_per_worker(self):
+        assert chunk_ranges(100, workers=4) == [
+            (0, 25), (25, 50), (50, 75), (75, 100)
+        ]
+
+    def test_large_input_capped_at_chunk_size(self):
+        ranges = chunk_ranges(1_000_000, chunk_size=100_000, workers=2)
+        assert all(stop - start <= 100_000 for start, stop in ranges)
+        assert len(ranges) == 10
+
+    def test_empty_and_negative_totals(self):
+        assert chunk_ranges(0) == [] and chunk_ranges(-5) == []
+
+    def test_workers_env_override(self, monkeypatch):
+        monkeypatch.setenv(chunking.WORKERS_ENV, "6")
+        assert default_workers() == 6
+        monkeypatch.setenv(chunking.WORKERS_ENV, "not-a-number")
+        assert default_workers() >= 1  # falls back to the CPU count
+
+
+class TestMapChunks:
+    def test_inline_at_one_worker(self):
+        assert map_chunks(_double, [(1,), (2,), (3,)], workers=1) == [2, 4, 6]
+
+    def test_empty_task_list(self):
+        assert map_chunks(_double, [], workers=4) == []
+
+    def test_pool_preserves_submission_order(self, monkeypatch):
+        monkeypatch.setenv(chunking.WORKERS_ENV, "2")
+        try:
+            results = map_chunks(_double, [(i,) for i in range(8)])
+        finally:
+            chunking._shutdown_pool()
+        assert results == [2 * i for i in range(8)]
+
+    def test_broken_pool_replays_inline(self, monkeypatch):
+        class _BrokenPool:
+            def submit(self, *args, **kwargs):
+                from concurrent.futures.process import BrokenProcessPool
+
+                raise BrokenProcessPool("worker died")
+
+        monkeypatch.setattr(chunking, "_shared_pool", lambda w: _BrokenPool())
+        results = map_chunks(_double, [(1,), (2,)], workers=4)
+        assert results == [2, 4]
+        assert chunking._pool is None  # the dead pool was torn down

@@ -1,0 +1,184 @@
+"""Counter-based RandomStream: slice invariance, children, pickling.
+
+The chunk-parallel Monte-Carlo backend rests on one invariant: draw
+position ``i`` of a stream is a pure function of ``(key, i)``, so any
+partition of a position range into chunks replays the identical
+values.  Hypothesis drives that invariant over arbitrary split points;
+the remaining tests pin the children/pickle/multinomial contracts the
+pool workers rely on.
+"""
+
+import pickle
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.rng import (
+    RandomStream,
+    binomial_from_uniforms,
+    choice_cdf,
+    choice_indices_from_uniforms,
+    exponential_from_uniforms,
+    normal_from_uniforms,
+    poisson_from_uniforms,
+    uniform_from_uniforms,
+)
+
+
+def _split_points(draw_total):
+    """Strategy: a sorted list of split points inside ``[0, total]``."""
+    return st.lists(
+        st.integers(min_value=0, max_value=draw_total),
+        min_size=0,
+        max_size=8,
+    ).map(sorted)
+
+
+class TestSliceInvariance:
+    """Chunked replay of any position range is bit-identical."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**64 - 1),
+        total=st.integers(min_value=1, max_value=300),
+        data=st.data(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_uniforms_invariant_under_arbitrary_splits(
+        self, seed, total, data
+    ):
+        stream = RandomStream(seed, "split")
+        whole = stream.slice_uniforms(0, total)
+        cuts = [0, *data.draw(_split_points(total)), total]
+        pieces = [
+            stream.slice_uniforms(lo, hi - lo)
+            for lo, hi in zip(cuts, cuts[1:])
+        ]
+        assert np.array_equal(whole, np.concatenate(pieces))
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        start=st.integers(min_value=0, max_value=1000),
+        count=st.integers(min_value=0, max_value=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_slice_matches_sequential_cursor(self, seed, start, count):
+        sequential = RandomStream(seed, "seq")
+        sequential.random(start)  # burn to the slice start
+        expected = sequential.random((count,))
+        sliced = RandomStream(seed, "seq").slice_uniforms(start, count)
+        assert np.array_equal(expected, sliced)
+
+    def test_slice_generator_positions_mid_block(self, rng_factory):
+        # Philox emits 4 words per counter block; every offset within a
+        # block must land on the exact same word sequence.
+        stream = rng_factory("blocks")
+        whole = stream.slice_uniforms(0, 12)
+        for start in range(12):
+            tail = stream.slice_generator(start, 12 - start).random(12 - start)
+            assert np.array_equal(whole[start:], tail)
+
+    def test_mapped_draws_invariant_under_chunking(self, rng_factory):
+        # Distribution draws consume one uniform per element, so mapping
+        # chunked slices reproduces the sequential draws exactly.
+        stream = rng_factory("mapped")
+        lam, n, p = 7.5, 20, 0.3
+        seq = rng_factory("mapped")
+        expected = {
+            "poisson": seq.poisson(lam, size=10),
+            "normal": seq.normal(1.0, 2.0, size=10),
+            "exponential": seq.exponential(0.5, size=10),
+            "uniform": seq.uniform(-1.0, 1.0, size=10),
+            "binomial": seq.binomial(n, p, size=10),
+        }
+        mappers = {
+            "poisson": lambda u: poisson_from_uniforms(u, lam),
+            "normal": lambda u: normal_from_uniforms(u, 1.0, 2.0),
+            "exponential": lambda u: exponential_from_uniforms(u, 0.5),
+            "uniform": lambda u: uniform_from_uniforms(u, -1.0, 1.0),
+            "binomial": lambda u: binomial_from_uniforms(u, n, p),
+        }
+        offset = 0
+        for name, mapper in mappers.items():
+            chunks = [
+                mapper(stream.slice_uniforms(offset + lo, 5))
+                for lo in (0, 5)
+            ]
+            assert np.array_equal(
+                expected[name], np.concatenate(chunks)
+            ), name
+            offset += 10
+
+    def test_choice_with_p_matches_cdf_mapping(self, rng_factory):
+        p = [0.2, 0.5, 0.1, 0.2]
+        drawn = rng_factory("choice").choice(4, size=50, p=p)
+        uniforms = rng_factory("choice").slice_uniforms(0, 50)
+        assert np.array_equal(
+            drawn, choice_indices_from_uniforms(uniforms, choice_cdf(p))
+        )
+
+    def test_negative_positions_rejected(self, rng):
+        for call in (
+            lambda: rng.slice_generator(-1),
+            lambda: rng.slice_generator(0, -2),
+            lambda: rng.slice_uniforms(0, -1),
+        ):
+            try:
+                call()
+            except ValueError:
+                continue
+            raise AssertionError("negative slice bounds must raise")
+
+
+class TestChildren:
+    def test_seeded_child_equals_joined_label_stream(self):
+        child = RandomStream(3).child("a").child("b")
+        flat = RandomStream(3, "root/a/b")
+        assert child.key == flat.key
+        assert np.array_equal(child.random((8,)), flat.random((8,)))
+
+    def test_unseeded_children_are_self_consistent(self):
+        parent = RandomStream(seed=None)
+        first = parent.child("det").random((6,))
+        second = parent.child("det").random((6,))
+        assert np.array_equal(first, second)
+        assert not np.array_equal(first, parent.child("other").random((6,)))
+
+    def test_unseeded_roots_differ(self):
+        a = RandomStream(seed=None).random((4,))
+        b = RandomStream(seed=None).random((4,))
+        assert not np.array_equal(a, b)
+
+
+class TestPickling:
+    def test_round_trip_preserves_future_draws(self, rng_factory):
+        stream = rng_factory("pickle")
+        stream.random((17,))  # advance the cursor off a block boundary
+        clone = pickle.loads(pickle.dumps(stream))
+        assert clone.position == stream.position
+        assert np.array_equal(stream.random((9,)), clone.random((9,)))
+
+    def test_unseeded_stream_pickles_realized_key(self):
+        stream = RandomStream(seed=None)
+        clone = pickle.loads(pickle.dumps(stream))
+        assert clone.key == stream.key
+        assert np.array_equal(stream.random((5,)), clone.random((5,)))
+
+
+class TestMultinomial:
+    def test_counts_sum_and_shape(self, rng):
+        counts = rng.multinomial(250, [0.1, 0.2, 0.3, 0.4])
+        assert counts.shape == (4,) and counts.dtype == np.int64
+        assert counts.sum() == 250 and (counts >= 0).all()
+
+    def test_deterministic_and_position_bounded(self, rng_factory):
+        first = rng_factory("m").multinomial(100, [0.5, 0.25, 0.25])
+        stream = rng_factory("m")
+        second = stream.multinomial(100, [0.5, 0.25, 0.25])
+        assert np.array_equal(first, second)
+        # Exactly len(pvals) - 1 positions consumed, whatever came out.
+        assert stream.position == 2
+
+    def test_zero_probability_category_empty(self, rng):
+        counts = rng.multinomial(500, [0.5, 0.0, 0.5])
+        assert counts[1] == 0 and counts.sum() == 500
