@@ -1,0 +1,300 @@
+"""``repro browse``: an interactive terminal browser over the run archive.
+
+A small command loop on top of :class:`repro.analysis.index.ArchiveIndex`
+— the interactive complement to the one-shot ``repro query``.  The
+:class:`ArchiveBrowser` keeps a current *view* (experiment filter,
+status filter, ``--where``-style parameter constraints, sort key) that
+each command refines, lists or inspects::
+
+    > exp E7              # filter to one experiment
+    > where pump_mw=2:4   # add a parameter constraint
+    > sort visibility_mean
+    > list                # the current view, newest first
+    > show r4f2…          # one run's full params + metrics
+    > sweeps              # sweep families of the current experiment
+    > stats               # whole-archive counts
+    > reset | help | quit
+
+I/O is injected (any readable/writable pair), so tests drive the loop
+with ``io.StringIO`` and the CLI passes stdin/stdout; nothing here
+imports numpy or touches the network.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections.abc import Mapping
+
+from repro.analysis.index import ArchiveIndex, parse_where
+from repro.errors import AnalysisError
+from repro.utils.tables import format_table
+
+#: Rows a bare ``list`` shows (raise with ``list N``).
+DEFAULT_LIMIT = 20
+
+HELP = """\
+commands:
+  list [N]          show the current view (default newest 20)
+  exp <ID>|all      filter to one experiment (or clear the filter)
+  status <S>|all    filter by run status (ok, failed, ...)
+  where NAME=V      add a parameter constraint (V or LO:HI); 'where clear'
+  sort <metric>     order by a metrics key (descending); 'sort time' resets
+  show <run_id>     one run's entry (params, metrics, report pointer)
+  sweeps            sweep families of the filtered experiment
+  stats             archive-wide counts
+  reset             clear every filter
+  help              this text
+  quit              leave the browser\
+"""
+
+
+class ArchiveBrowser:
+    """The interactive state machine behind ``repro browse``."""
+
+    def __init__(
+        self, root: str | pathlib.Path | None = None, index: ArchiveIndex | None = None
+    ) -> None:
+        self.index = index if index is not None else ArchiveIndex(root)
+        self.experiment: str | None = None
+        self.status: str | None = None
+        self.where: dict[str, object] = {}
+        self.sort_metric: str | None = None
+
+    # ------------------------------------------------------------------
+    # View
+    # ------------------------------------------------------------------
+    def view(self, limit: int | None = DEFAULT_LIMIT) -> list[dict[str, object]]:
+        """The entries matching the current filters, ordered."""
+        entries = self.index.query(
+            experiment=self.experiment,
+            status=self.status,
+            where=self.where or None,
+        )
+        if self.sort_metric:
+            metric = self.sort_metric
+
+            def key(entry: Mapping[str, object]) -> float:
+                metrics = entry.get("metrics")
+                value = (
+                    metrics.get(metric)
+                    if isinstance(metrics, Mapping)
+                    else None
+                )
+                return (
+                    float(value)
+                    if isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                    else float("-inf")
+                )
+
+            entries = sorted(entries, key=key, reverse=True)
+        return entries[:limit] if limit else entries
+
+    def describe_filters(self) -> str:
+        """One line summarising the active view."""
+        parts = [
+            f"experiment={self.experiment or 'all'}",
+            f"status={self.status or 'all'}",
+        ]
+        if self.where:
+            folded = ",".join(
+                f"{k}={v}" for k, v in sorted(self.where.items())
+            )
+            parts.append(f"where[{folded}]")
+        if self.sort_metric:
+            parts.append(f"sort={self.sort_metric}")
+        return " ".join(parts)
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+    def execute(self, line: str) -> tuple[str, bool]:
+        """Run one command line; returns ``(output, keep_going)``."""
+        words = line.strip().split()
+        if not words:
+            return "", True
+        command, args = words[0].lower(), words[1:]
+        try:
+            if command in ("quit", "exit", "q"):
+                return "", False
+            if command == "help":
+                return HELP, True
+            if command == "reset":
+                self.experiment = None
+                self.status = None
+                self.where = {}
+                self.sort_metric = None
+                return f"view reset: {self.describe_filters()}", True
+            if command == "exp":
+                value = args[0] if args else "all"
+                self.experiment = (
+                    None if value.lower() == "all" else value.upper()
+                )
+                return self._render_list(DEFAULT_LIMIT), True
+            if command == "status":
+                value = args[0] if args else "all"
+                self.status = None if value.lower() == "all" else value
+                return self._render_list(DEFAULT_LIMIT), True
+            if command == "where":
+                if args and args[0].lower() == "clear":
+                    self.where = {}
+                    return f"constraints cleared: {self.describe_filters()}", True
+                self.where.update(parse_where(args))
+                return self._render_list(DEFAULT_LIMIT), True
+            if command == "sort":
+                value = args[0] if args else "time"
+                self.sort_metric = (
+                    None if value.lower() == "time" else value
+                )
+                return self._render_list(DEFAULT_LIMIT), True
+            if command == "list":
+                limit = int(args[0]) if args else DEFAULT_LIMIT
+                return self._render_list(limit), True
+            if command == "show":
+                if not args:
+                    return "show needs a run id (see 'list')", True
+                return self._render_show(args[0]), True
+            if command == "sweeps":
+                return self._render_sweeps(), True
+            if command == "stats":
+                return self._render_stats(), True
+        except (AnalysisError, ValueError) as error:
+            return f"error: {error}", True
+        return f"unknown command {command!r} — try 'help'", True
+
+    def _render_list(self, limit: int) -> str:
+        """The current view as a table."""
+        entries = self.view(limit)
+        if not entries:
+            return f"no runs match: {self.describe_filters()}"
+        metric = self.sort_metric
+        headers = ["run", "experiment", "status", "seed", "params"]
+        if metric:
+            headers.insert(3, metric)
+        rows = []
+        for entry in entries:
+            params = entry.get("params")
+            folded = (
+                " ".join(
+                    f"{k}={params[k]}" for k in sorted(params)
+                )[:48]
+                if isinstance(params, Mapping)
+                else ""
+            )
+            row = [
+                str(entry.get("run_id", "?"))[:20],
+                entry.get("experiment_id", "?"),
+                entry.get("status", "?"),
+                entry.get("seed", "?"),
+                folded,
+            ]
+            if metric:
+                metrics = entry.get("metrics")
+                value = (
+                    metrics.get(metric)
+                    if isinstance(metrics, Mapping)
+                    else None
+                )
+                row.insert(
+                    3,
+                    f"{value:.5g}"
+                    if isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                    else "-",
+                )
+            rows.append(row)
+        title = f"Archive — {self.describe_filters()}"
+        return format_table(headers, rows, title=title)
+
+    def _render_show(self, run_id: str) -> str:
+        """One run's whole entry, pretty-printed."""
+        entry = self.index.get(run_id)
+        if entry is None:
+            # Convenience: allow unambiguous run-id prefixes.
+            matches = [
+                e
+                for e in self.index.entries()
+                if str(e.get("run_id", "")).startswith(run_id)
+            ]
+            if len(matches) == 1:
+                entry = matches[0]
+            elif matches:
+                folded = ", ".join(
+                    str(e.get("run_id")) for e in matches[:5]
+                )
+                return f"ambiguous run id {run_id!r}: {folded}"
+        if entry is None:
+            return f"no run {run_id!r} in the index (try 'list')"
+        document = json.dumps(entry, indent=2, sort_keys=True)
+        run_dir = self.index.runs_dir / str(entry.get("run_id"))
+        pointer = f"\narchive: {run_dir}" if run_dir.exists() else ""
+        return document + pointer
+
+    def _render_sweeps(self) -> str:
+        """Sweep families of the filtered experiment."""
+        if not self.experiment:
+            return "sweeps needs an experiment filter first ('exp E7')"
+        groups = self.index.sweep_groups(self.experiment)
+        if not groups:
+            return f"no ok sweep families for {self.experiment}"
+        rows = [
+            [
+                index,
+                " ".join(group.get("axes", [])) or "-",
+                len(group.get("entries", [])),
+                group.get("seed"),
+                group.get("quick"),
+                " ".join(
+                    f"{k}={v}"
+                    for k, v in sorted(
+                        (group.get("fixed") or {}).items()
+                    )
+                )[:40],
+            ]
+            for index, group in enumerate(groups)
+        ]
+        return format_table(
+            ["#", "axes", "runs", "seed", "quick", "fixed"],
+            rows,
+            title=f"Sweep families — {self.experiment}",
+        )
+
+    def _render_stats(self) -> str:
+        """Archive-wide counts."""
+        stats = self.index.stats()
+        lines = [f"root: {stats['root']}", f"runs: {stats['runs']}"]
+        by_experiment = stats.get("by_experiment")
+        if isinstance(by_experiment, Mapping) and by_experiment:
+            folded = "  ".join(
+                f"{k}={by_experiment[k]}" for k in sorted(by_experiment)
+            )
+            lines.append(f"by experiment: {folded}")
+        by_status = stats.get("by_status")
+        if isinstance(by_status, Mapping) and by_status:
+            folded = "  ".join(
+                f"{k}={by_status[k]}" for k in sorted(by_status)
+            )
+            lines.append(f"by status: {folded}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Loop
+    # ------------------------------------------------------------------
+    def run(self, stdin, stdout) -> int:
+        """Drive the command loop over the given streams."""
+        stdout.write(
+            "repro archive browser — 'help' lists commands, 'quit' leaves\n"
+        )
+        stdout.write(self._render_stats() + "\n")
+        while True:
+            stdout.write("> ")
+            stdout.flush()
+            line = stdin.readline()
+            if not line:  # EOF
+                return 0
+            output, keep_going = self.execute(line)
+            if output:
+                stdout.write(output + "\n")
+            if not keep_going:
+                return 0

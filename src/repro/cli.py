@@ -16,6 +16,7 @@ Analysis subcommands (the archive as a query surface)::
 
     python -m repro index                 # refresh + summarise the run index
     python -m repro query --experiment E7 --where pump_mw=2:8
+    python -m repro browse                # interactive archive browser
     python -m repro analyze --pipeline paper-summary
     python -m repro report                # archive-backed if analyzed,
                                           # live recompute otherwise
@@ -27,11 +28,13 @@ Experiment-service subcommands (the always-on daemon)::
     python -m repro submit E6 --quick --scan pump_mw=2:20:10
     python -m repro status [JOB_ID]       # queue table / one job (+traceback)
     python -m repro watch [JOB_ID]        # stream the live event feed
+    python -m repro dashboard             # live TUI over the dataset bus
+    python -m repro dashboard --replay    # re-render a root's obs journal
     python -m repro cancel JOB_ID
 
 Telemetry subcommands (the observability surface)::
 
-    python -m repro metrics [--json]      # counters/gauges/histograms
+    python -m repro metrics [--json|--prom]  # counters/gauges/histograms
     python -m repro trace IDENT           # span tree for a run/job/trace id
     python -m repro bench-report          # benchmark trajectory tables
 
@@ -434,6 +437,42 @@ def build_parser() -> argparse.ArgumentParser:
     cancel_parser.add_argument("job_id", type=int, help="job id to cancel")
     _add_service_options(cancel_parser)
 
+    dashboard_parser = subparsers.add_parser(
+        "dashboard",
+        help=(
+            "live terminal dashboard over the dataset bus (queue, "
+            "sweeps, metrics); --replay re-renders a finished root"
+        ),
+    )
+    dashboard_parser.add_argument(
+        "--replay",
+        action="store_true",
+        help="render from the root's obs journal instead of a daemon",
+    )
+    dashboard_parser.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single frame and exit (no screen clearing)",
+    )
+    dashboard_parser.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="seconds per poll cycle (live) or frame (replay); default 1.0",
+    )
+    _add_service_options(dashboard_parser)
+
+    browse_parser = subparsers.add_parser(
+        "browse",
+        help="interactive archive browser (filter, sort, inspect runs)",
+    )
+    browse_parser.add_argument(
+        "--archive-dir",
+        default=None,
+        help="engine root directory (default $REPRO_RUNTIME_ROOT or ./repro-runs)",
+    )
+
     metrics_parser = subparsers.add_parser(
         "metrics",
         help=(
@@ -445,6 +484,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="print the raw snapshot document instead of text",
+    )
+    metrics_parser.add_argument(
+        "--prom",
+        action="store_true",
+        help=(
+            "print the Prometheus text exposition (same formatter as "
+            "the daemon's GET /metrics)"
+        ),
     )
     _add_service_options(metrics_parser)
 
@@ -1183,6 +1230,90 @@ def command_cancel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _paint_frame(frame: str, once: bool) -> None:
+    """Draw one dashboard frame (clearing the screen unless ``once``)."""
+    if once:
+        print(frame)
+    else:
+        # Clear + home, then the frame: flicker-free enough for 1 Hz.
+        sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+        sys.stdout.flush()
+
+
+def command_dashboard(args: argparse.Namespace) -> int:
+    """The live terminal dashboard (or an offline journal replay).
+
+    Live mode subscribes to every bus topic on the daemon and keeps
+    long-polling ``poll_datasets`` with the accumulated cursors; each
+    reply mutates the :class:`~repro.obs.dashboard.DashboardModel` and
+    repaints.  ``--replay`` drives the same model from the root's obs
+    journal — no daemon, no sockets.
+    """
+    import time
+
+    from repro.obs.dashboard import (
+        DashboardModel,
+        render_frame,
+        replay_frames,
+    )
+
+    if args.replay:
+        root = _telemetry_root(args)
+        model = frame = None
+        for model, frame in replay_frames(root):
+            if not args.once:
+                _paint_frame(frame, once=False)
+                time.sleep(min(args.interval, 0.5))
+        if frame is None or model is None or not model.topics:
+            print(
+                f"no dataset publishes journaled under {root} "
+                "(run a sweep with REPRO_OBS=1 first)",
+                file=sys.stderr,
+            )
+            return 1
+        if args.once:
+            _paint_frame(frame, once=True)
+        return 0
+
+    client = _service_client(args)
+    model = DashboardModel()
+    model.apply_subscribe(client.subscribe())
+    try:
+        while True:
+            _paint_frame(render_frame(model), once=args.once)
+            if args.once:
+                return 0
+            if model.cursors:
+                payload = client.poll_datasets(
+                    model.cursors, timeout=args.interval
+                )
+                if payload:
+                    model.apply_poll(payload)
+            else:
+                time.sleep(args.interval)
+            # Topics born after we subscribed (new sweep jobs) are
+            # invisible to poll_datasets; pick them up each cycle.
+            fresh = client.subscribe()
+            model.apply_subscribe(
+                {
+                    topic: entry
+                    for topic, entry in fresh.items()
+                    if topic not in model.cursors
+                }
+            )
+    except KeyboardInterrupt:
+        return 0
+
+
+def command_browse(args: argparse.Namespace) -> int:
+    """The interactive archive browser over the run index."""
+    from repro.analysis.browse import ArchiveBrowser
+
+    return ArchiveBrowser(_telemetry_root(args)).run(
+        sys.stdin, sys.stdout
+    )
+
+
 def _telemetry_root(args: argparse.Namespace):
     """The engine root whose ``obs/`` journal telemetry commands read."""
     import pathlib
@@ -1211,7 +1342,10 @@ def command_metrics(args: argparse.Namespace) -> int:
     except ServiceError:
         snapshot = None
     if snapshot is not None:
-        if args.json:
+        if args.prom:
+            # end="" — the exposition text is newline-terminated already.
+            print(obs_render.render_prometheus(snapshot), end="")
+        elif args.json:
             import json
 
             print(json.dumps(snapshot, indent=2, sort_keys=True))
@@ -1221,6 +1355,14 @@ def command_metrics(args: argparse.Namespace) -> int:
     from repro.obs import journal as obs_journal
 
     root = _telemetry_root(args)
+    if args.prom:
+        print(
+            "no telemetry: --prom needs a live registry, and no daemon "
+            f"is reachable for {root} (start one with 'repro serve', or "
+            "scrape its GET /metrics endpoint directly)",
+            file=sys.stderr,
+        )
+        return 1
     entries = obs_journal.read_events(root)
     if not entries:
         print(
@@ -1503,6 +1645,8 @@ _COMMANDS = {
     "status": command_status,
     "watch": command_watch,
     "cancel": command_cancel,
+    "dashboard": command_dashboard,
+    "browse": command_browse,
     "metrics": command_metrics,
     "trace": command_trace,
     "bench-report": command_bench_report,

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.devtools.check.framework import Rule
 from repro.devtools.check.rules.atomic_io import AtomicIoRule
+from repro.devtools.check.rules.bus_topics import BusTopicsRule
 from repro.devtools.check.rules.cache_schema import CacheSchemaRule
 from repro.devtools.check.rules.exceptions import ExceptionHygieneRule
 from repro.devtools.check.rules.lazy_imports import LazyImportRule
@@ -20,6 +21,7 @@ from repro.devtools.check.rules.rng import RngDisciplineRule
 
 __all__ = [
     "AtomicIoRule",
+    "BusTopicsRule",
     "CacheSchemaRule",
     "ExceptionHygieneRule",
     "LazyImportRule",
@@ -38,6 +40,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     RngDisciplineRule,
     CacheSchemaRule,
     ObsNamesRule,
+    BusTopicsRule,
 )
 
 

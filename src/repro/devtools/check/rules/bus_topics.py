@@ -1,0 +1,148 @@
+"""OBS002 — dataset-bus topics come from the central registry.
+
+The dataset bus (PR 9) broadcasts under dotted topic names, and
+``repro.obs.names`` is their single registry: ``TOPIC_QUEUE``,
+``TOPIC_METRICS`` and the ``sweep_topic()`` constructor for the
+``datasets.sweep.*`` family.  Dashboards subscribe by these names,
+the journal replays by them, and ``require_topic`` rejects strangers
+at publish time — but only at run time, on whatever code path happens
+to publish first.  An inline literal at a publish site forks the
+namespace exactly the way OBS001 describes for metric names: the
+subscriber watching ``names.TOPIC_QUEUE`` never sees the publisher's
+``"queue-state"``.  This rule checks the invariant statically:
+
+* every topic argument of a bus publish call (``publish_init``,
+  ``publish_mod`` — on the façade or a bus object) must be a
+  ``names.TOPIC_*`` constant or a ``sweep_topic(...)`` call, never a
+  string literal;
+* a referenced ``names`` attribute must exist in the registry and be
+  a topic constant — a typo'd ``names.TOPIC_QUEU`` fails here instead
+  of raising ``ConfigurationError`` on a cold path.
+
+Variables and other dynamic expressions pass: publishers that carry a
+registry-derived topic in an attribute (the sweep publisher's
+``self.topic``) are the normal case.  The ``repro/obs/`` package is
+exempt — the bus handles topics generically and the registry is where
+the literals live.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.check.framework import (
+    Finding,
+    ModuleContext,
+    Rule,
+    dotted_call_name,
+)
+
+#: Bus callables taking a topic name as their first argument.
+PUBLISH_CALLS = frozenset({"publish_init", "publish_mod"})
+
+#: Local aliases under which the registry module is imported.
+NAMES_ALIASES = frozenset({"names", "obs_names"})
+
+#: The registry's topic-constructor function for dynamic families.
+TOPIC_BUILDERS = frozenset({"sweep_topic", "job_key"})
+
+
+def _topic_constants() -> frozenset[str]:
+    """Every ``TOPIC_*`` constant defined by ``repro.obs.names``."""
+    from repro.obs import names
+
+    return frozenset(
+        attr for attr in vars(names) if attr.startswith("TOPIC_")
+    )
+
+
+class BusTopicsRule(Rule):
+    """Flag literal or unknown topic names at bus publish sites."""
+
+    rule_id = "OBS002"
+    title = "dataset-bus topic registry"
+    description = (
+        "Topic names passed to the dataset bus "
+        "(publish_init/publish_mod) must be TOPIC_* constants from "
+        "repro.obs.names or sweep_topic(...) constructions — never "
+        "inline string literals, and never registry attributes that "
+        "do not exist.  The repro/obs/ package itself is exempt."
+    )
+
+    def __init__(self) -> None:
+        """Capture the registry's topic constants once per run."""
+        self._topics = _topic_constants()
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield OBS002 findings for one module."""
+        if not module.module.startswith("repro/"):
+            return
+        if module.module.startswith("repro/obs/"):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_call_name(node.func)
+            if not name:
+                continue
+            tail = name.split(".")[-1]
+            if tail not in PUBLISH_CALLS:
+                continue
+            yield from self._check_topic_argument(module, node, tail)
+
+    def _check_topic_argument(
+        self, module: ModuleContext, node: ast.Call, function: str
+    ) -> Iterator[Finding]:
+        """Findings for the topic argument of one publish call."""
+        argument = self._topic_argument(node)
+        if argument is None:
+            return
+        if isinstance(argument, ast.Constant) and isinstance(
+            argument.value, str
+        ):
+            yield module.finding(
+                node,
+                self.rule_id,
+                f"{function}({argument.value!r}, ...) hard-codes a bus "
+                "topic; use a TOPIC_* constant from repro.obs.names "
+                "(or names.sweep_topic(...) for the sweep family) so "
+                "publishers and subscribers share one namespace",
+            )
+            return
+        if (
+            isinstance(argument, ast.Attribute)
+            and isinstance(argument.value, ast.Name)
+            and argument.value.id in NAMES_ALIASES
+            and argument.attr not in self._topics
+        ):
+            yield module.finding(
+                node,
+                self.rule_id,
+                f"{argument.value.id}.{argument.attr} is not a TOPIC_* "
+                "constant of repro.obs.names; bus topics must come "
+                "from the central registry (typo, or add the topic "
+                "there first)",
+            )
+
+    @staticmethod
+    def _topic_argument(node: ast.Call) -> ast.AST | None:
+        """The topic argument of one publish call, if present.
+
+        A ``sweep_topic(...)``/``job_key(...)`` construction in
+        argument position is registry-sanctioned and reported as
+        absent (nothing to check).
+        """
+        argument: ast.AST | None = None
+        if node.args:
+            argument = node.args[0]
+        else:
+            for keyword in node.keywords:
+                if keyword.arg == "topic":
+                    argument = keyword.value
+                    break
+        if isinstance(argument, ast.Call):
+            builder = dotted_call_name(argument.func) or ""
+            if builder.split(".")[-1] in TOPIC_BUILDERS:
+                return None
+        return argument

@@ -65,7 +65,9 @@ LIGHT_MODULES = frozenset(
         "repro.utils.io",
         "repro.utils.tables",
         "repro.obs",
+        "repro.obs.bus",
         "repro.obs.clock",
+        "repro.obs.dashboard",
         "repro.obs.journal",
         "repro.obs.metrics",
         "repro.obs.names",
@@ -80,11 +82,13 @@ LIGHT_MODULES = frozenset(
         "repro.service",
         "repro.service.api",
         "repro.service.client",
+        "repro.service.datasets",
         "repro.service.jobs",
         "repro.service.scheduler",
         "repro.service.store",
         "repro.analysis",
         "repro.analysis.analyzers",
+        "repro.analysis.browse",
         "repro.analysis.index",
         "repro.analysis.pipelines",
         "repro.analysis.report",

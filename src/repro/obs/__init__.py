@@ -39,6 +39,8 @@ import threading
 from collections.abc import Iterable, Mapping
 
 from repro.obs import names
+from repro.obs.bus import DatasetBus
+from repro.obs.bus import is_journaled as bus_is_journaled
 from repro.obs.clock import Clock
 from repro.obs.journal import EventJournal
 from repro.obs.metrics import MetricsRegistry
@@ -78,6 +80,7 @@ class ObsState:
         )
         self.metrics = MetricsRegistry()
         self.journal: EventJournal | None = None
+        self.bus = DatasetBus()
 
     def _sink(self, span: Span) -> None:
         """Journal one finished span (tracer sink)."""
@@ -90,6 +93,7 @@ class ObsState:
         if self.journal is not None:
             return
         self.journal = EventJournal(root, clock=self.clock)
+        self.bus.journal_root = self.journal.root
         self.journal.emit(
             names.EVENT_OBS_STARTED,
             {"pid": os.getpid(), "root": str(pathlib.Path(root))},
@@ -204,6 +208,45 @@ def event(name: str, attrs: Mapping[str, object] | None = None) -> None:
         return
     state.journal.emit(name, attrs)
     state.metrics.count(names.METRIC_JOURNAL_EVENTS)
+
+
+def publish_init(topic: str, snapshot: Mapping[str, object]) -> int:
+    """Broadcast a topic's full snapshot on the dataset bus.
+
+    Returns the bus sequence number (0 while disabled).  ``datasets.*``
+    topics are mirrored into the obs journal so stale subscribers and
+    the offline dashboard can replay them.
+    """
+    state = _STATE
+    if not state.enabled:
+        return 0
+    seq = state.bus.publish_init(topic, snapshot)
+    if state.journal is not None and bus_is_journaled(topic):
+        state.journal.emit(
+            names.EVENT_DATASET_INIT,
+            {"topic": topic, "bus_seq": seq, "snapshot": dict(snapshot)},
+        )
+        state.metrics.count(names.METRIC_JOURNAL_EVENTS)
+    return seq
+
+
+def publish_mod(topic: str, mod: Mapping[str, object]) -> int:
+    """Broadcast one structured diff on the dataset bus.
+
+    Returns the bus sequence number (0 while disabled); journaling as
+    in :func:`publish_init`.
+    """
+    state = _STATE
+    if not state.enabled:
+        return 0
+    seq = state.bus.publish_mod(topic, mod)
+    if state.journal is not None and bus_is_journaled(topic):
+        state.journal.emit(
+            names.EVENT_DATASET_MOD,
+            {"topic": topic, "bus_seq": seq, "mod": dict(mod)},
+        )
+        state.metrics.count(names.METRIC_JOURNAL_EVENTS)
+    return seq
 
 
 def context() -> dict[str, str] | None:

@@ -1,0 +1,364 @@
+"""The ``repro dashboard`` terminal UI: live panels over the dataset bus.
+
+Pure presentation, pure stdlib: a :class:`DashboardModel` accumulates
+the ``subscribe``/``poll_datasets`` payloads a
+:class:`~repro.service.client.ServiceClient` fetches (or the journal
+entries of a finished run, for ``--replay``), and
+:func:`render_frame` turns the model into one ANSI-free text frame the
+CLI paints in place.  Keeping model and renderer free of sockets and
+terminals makes every panel unit-testable with plain dicts.
+
+Panels:
+
+* **queue** — worker utilisation, per-status counts, the most recent
+  jobs;
+* **one panel per live sweep** — progress counters plus a sparkline
+  per headline metric series (fringe visibility, CHSH S, CAR, ...)
+  ordered by scan index, exactly the live view the paper's Bell-fringe
+  and CAR scans need;
+* **metrics** — counter deltas since the previous broadcast, so rates
+  are visible without a second tool.
+
+Adding a panel: give the topic a section in :func:`render_frame` (the
+model is topic-agnostic — any ``init`` + ``mods`` stream accumulates),
+and pick its headline series in :data:`PREFERRED_METRICS` if it is a
+sweep-like dataset.  See DESIGN.md "Live datasets and dashboard".
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections.abc import Iterator, Mapping
+
+from repro.obs import names
+from repro.obs.bus import apply_mod
+from repro.utils.tables import sparkline
+
+#: Sweep metric keys promoted into sparkline rows, best first.
+PREFERRED_METRICS = (
+    "visibility_mean",
+    "s_mean",
+    "car",
+    "car_max",
+    "key_rate",
+    "fidelity",
+    "coincidences",
+)
+
+#: How many sparkline rows one sweep panel shows.
+MAX_SERIES = 3
+
+#: How many recent jobs the queue panel lists.
+MAX_JOBS = 6
+
+
+class DashboardModel:
+    """Client-side state of every subscribed topic.
+
+    Mirrors the bus contract: an ``init`` replaces a topic's snapshot,
+    ordered ``mods`` mutate it through the shared
+    :func:`~repro.obs.bus.apply_mod`, and a ``gap`` flag is remembered
+    so the frame can badge lossy topics.  Counter deltas are computed
+    against the previous metrics broadcast.
+    """
+
+    def __init__(self) -> None:
+        self.topics: dict[str, dict[str, object]] = {}
+        self.cursors: dict[str, int] = {}
+        self.gapped: set[str] = set()
+        self.deltas: dict[str, float] = {}
+        self.source = "live"
+
+    def apply_subscribe(
+        self, payload: Mapping[str, Mapping[str, object]]
+    ) -> None:
+        """Ingest a ``subscribe`` reply (topic → init + seq)."""
+        for topic, entry in payload.items():
+            init = entry.get("init")
+            self.topics[topic] = (
+                dict(init) if isinstance(init, Mapping) else {}
+            )
+            self.cursors[topic] = int(entry.get("seq", 0))  # type: ignore[arg-type]
+
+    def apply_poll(
+        self, payload: Mapping[str, Mapping[str, object]]
+    ) -> None:
+        """Ingest a ``poll_datasets`` reply, advancing every cursor."""
+        for topic, entry in payload.items():
+            if entry.get("gap"):
+                self.gapped.add(topic)
+            init = entry.get("init")
+            if isinstance(init, Mapping):
+                self.topics[topic] = dict(init)
+            snapshot = self.topics.setdefault(topic, {})
+            if topic == names.TOPIC_METRICS:
+                self._track_deltas(snapshot, entry.get("mods"))
+            for mod in entry.get("mods") or []:  # type: ignore[union-attr]
+                if isinstance(mod, Mapping) and isinstance(
+                    mod.get("mod"), Mapping
+                ):
+                    apply_mod(snapshot, mod["mod"])  # type: ignore[arg-type]
+            self.cursors[topic] = int(entry.get("seq", self.cursors.get(topic, 0)))  # type: ignore[arg-type]
+
+    def _track_deltas(
+        self, snapshot: Mapping[str, object], mods: object
+    ) -> None:
+        """Record counter increments carried by metrics-topic mods."""
+        previous = snapshot.get("counters")
+        if not isinstance(previous, Mapping):
+            previous = {}
+        for mod in mods or []:  # type: ignore[union-attr]
+            if not isinstance(mod, Mapping):
+                continue
+            inner = mod.get("mod")
+            if (
+                isinstance(inner, Mapping)
+                and inner.get("key") == "counters"
+                and isinstance(inner.get("value"), Mapping)
+            ):
+                for series, value in inner["value"].items():  # type: ignore[union-attr]
+                    if isinstance(value, (int, float)):
+                        before = previous.get(series, 0)
+                        base = (
+                            float(before)
+                            if isinstance(before, (int, float))
+                            else 0.0
+                        )
+                        self.deltas[str(series)] = float(value) - base
+
+    def sweep_topics(self) -> list[str]:
+        """Every sweep-family topic currently held, sorted."""
+        return sorted(
+            t
+            for t in self.topics
+            if t.startswith(names.TOPIC_SWEEP_PREFIX)
+        )
+
+
+def sweep_series(
+    snapshot: Mapping[str, object], limit: int = MAX_SERIES
+) -> list[tuple[str, list[float]]]:
+    """The sparkline-able metric series of one sweep snapshot.
+
+    Points are ordered by their integer scan index (pooled sweeps
+    complete out of order; the dict keys restore the axis).  Preferred
+    paper observables come first, then remaining numeric metrics
+    alphabetically, capped at ``limit`` rows.
+    """
+    points = snapshot.get("points")
+    if not isinstance(points, Mapping) or not points:
+        return []
+    ordered = [
+        points[key]
+        for key in sorted(points, key=lambda k: int(k) if str(k).isdigit() else 0)
+        if isinstance(points[key], Mapping)
+    ]
+    available: dict[str, list[float]] = {}
+    for point in ordered:
+        metrics = point.get("metrics")
+        if not isinstance(metrics, Mapping):
+            continue
+        for key, value in metrics.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                available.setdefault(str(key), []).append(float(value))
+    ranked = [k for k in PREFERRED_METRICS if k in available]
+    ranked += sorted(k for k in available if k not in PREFERRED_METRICS)
+    return [(key, available[key]) for key in ranked[:limit]]
+
+
+def _bar(fraction: float, width: int = 20) -> str:
+    """A text progress bar, clamped to [0, 1]."""
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "█" * filled + "░" * (width - filled)
+
+
+def _queue_lines(snapshot: Mapping[str, object]) -> list[str]:
+    """The queue panel's body lines."""
+    counts = snapshot.get("counts")
+    counts = dict(counts) if isinstance(counts, Mapping) else {}
+    workers = snapshot.get("workers")
+    running = int(counts.get("running", 0) or 0)
+    lines = []
+    folded = (
+        "  ".join(f"{k}={counts[k]}" for k in sorted(counts)) or "empty"
+    )
+    if isinstance(workers, int) and workers > 0:
+        lines.append(
+            f"workers {running}/{workers} busy "
+            f"{_bar(running / workers, 10)}  {folded}"
+        )
+    else:
+        lines.append(folded)
+    jobs = snapshot.get("jobs")
+    documents = (
+        sorted(
+            (d for d in jobs.values() if isinstance(d, Mapping)),
+            key=lambda d: int(d.get("job_id", 0) or 0),
+        )
+        if isinstance(jobs, Mapping)
+        else []
+    )
+    for document in documents[-MAX_JOBS:]:
+        done = int(document.get("done_points", 0) or 0)
+        total = int(document.get("total_points", 1) or 1)
+        lines.append(
+            f"job {document.get('job_id')} "
+            f"{document.get('kind')} {document.get('experiment_id')} "
+            f"{document.get('status')} {done}/{total} "
+            f"{_bar(done / total if total else 0.0, 12)}"
+        )
+    return lines
+
+
+def _sweep_lines(topic: str, snapshot: Mapping[str, object]) -> list[str]:
+    """One sweep panel's body lines (progress + metric sparklines)."""
+    counts = snapshot.get("counts")
+    counts = dict(counts) if isinstance(counts, Mapping) else {}
+    done = int(counts.get("done", 0) or 0)
+    total = int(counts.get("total", 0) or 0)
+    cached = int(counts.get("cached", 0) or 0)
+    status = snapshot.get("status", "?")
+    lines = [
+        f"{status} {done}/{total or '?'} points"
+        + (f" ({cached} cached)" if cached else "")
+        + (f" {_bar(done / total, 16)}" if total else "")
+    ]
+    for key, values in sweep_series(snapshot):
+        low, high = min(values), max(values)
+        lines.append(
+            f"{key:<18} {sparkline(values)}  "
+            f"[{low:.4g} .. {high:.4g}] n={len(values)}"
+        )
+    return lines
+
+
+def _metrics_lines(
+    snapshot: Mapping[str, object], deltas: Mapping[str, float]
+) -> list[str]:
+    """The metrics panel's body: counters with deltas, top gauges."""
+    counters = snapshot.get("counters")
+    counters = dict(counters) if isinstance(counters, Mapping) else {}
+    lines = []
+    for series in sorted(counters)[:8]:
+        value = counters[series]
+        delta = deltas.get(series)
+        suffix = (
+            f"  (+{delta:g})" if isinstance(delta, float) and delta else ""
+        )
+        lines.append(f"{series:<44} {value}{suffix}")
+    gauges = snapshot.get("gauges")
+    if isinstance(gauges, Mapping):
+        for series in sorted(gauges)[:4]:
+            value = gauges[series]
+            if isinstance(value, (int, float)):
+                lines.append(f"{series:<44} {value:g}")
+    return lines
+
+
+def render_frame(model: DashboardModel, width: int = 78) -> str:
+    """One complete dashboard frame as plain text.
+
+    Deterministic for a given model (sorted topics, fixed panel order):
+    the CI smoke job archives a frame as an artifact and tests compare
+    substrings without fighting timestamps.
+    """
+    rule = "─" * width
+
+    def panel(title: str, body: list[str]) -> list[str]:
+        header = f"┌ {title} "
+        return [header + "─" * max(0, width - len(header))] + [
+            f"│ {line}" for line in (body or ["(no data yet)"])
+        ]
+
+    lines = [f"repro dashboard ({model.source})", rule]
+    queue = model.topics.get(names.TOPIC_QUEUE)
+    if queue is not None:
+        title = "queue"
+        if names.TOPIC_QUEUE in model.gapped:
+            title += " [gap]"
+        lines += panel(title, _queue_lines(queue))
+    for topic in model.sweep_topics():
+        snapshot = model.topics[topic]
+        key = topic[len(names.TOPIC_SWEEP_PREFIX) :]
+        experiment = snapshot.get("experiment", "?")
+        title = f"sweep {key} — {experiment}"
+        if topic in model.gapped:
+            title += " [gap: resynced from snapshot]"
+        lines += panel(title, _sweep_lines(topic, snapshot))
+    metrics = model.topics.get(names.TOPIC_METRICS)
+    if metrics is not None:
+        lines += panel("metrics", _metrics_lines(metrics, model.deltas))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Offline replay from the obs journal
+# ---------------------------------------------------------------------------
+
+
+def replay_events(
+    root: str | pathlib.Path,
+) -> list[dict[str, object]]:
+    """The journaled dataset publishes of a root, in bus order.
+
+    Reads ``<root>/obs/events.jsonl`` (rotated file included) and keeps
+    only the ``dataset.init``/``dataset.mod`` entries — the journaled
+    (``datasets.*``) topic families — sorted by topic and bus sequence
+    number so replay applies them exactly as the bus broadcast them.
+    """
+    from repro.obs.journal import read_events
+
+    wanted = (names.EVENT_DATASET_INIT, names.EVENT_DATASET_MOD)
+    entries = [
+        entry
+        for entry in read_events(root)
+        if entry.get("kind") == "event"
+        and entry.get("name") in wanted
+        and isinstance(entry.get("attrs"), dict)
+    ]
+    entries.sort(
+        key=lambda e: (
+            str(e["attrs"].get("topic", "")),  # type: ignore[index]
+            int(e["attrs"].get("bus_seq", 0) or 0),  # type: ignore[index]
+        )
+    )
+    return entries
+
+
+def replay_frames(
+    root: str | pathlib.Path,
+) -> Iterator[tuple[DashboardModel, str]]:
+    """Yield ``(model, frame)`` per replayed sweep point (then a final).
+
+    Drives the same model/renderer as the live path, but from the obs
+    journal alone — no daemon required.  A frame is yielded after every
+    ``set points.<i>`` diff so the CLI can animate the sweep, plus one
+    final frame carrying the terminal status mods.
+    """
+    model = DashboardModel()
+    model.source = "replay"
+    pending = False
+    for entry in replay_events(root):
+        attrs = entry["attrs"]
+        topic = str(attrs.get("topic", ""))  # type: ignore[union-attr]
+        if entry.get("name") == names.EVENT_DATASET_INIT:
+            snapshot = attrs.get("snapshot")  # type: ignore[union-attr]
+            model.topics[topic] = (
+                json.loads(json.dumps(snapshot))
+                if isinstance(snapshot, Mapping)
+                else {}
+            )
+            pending = True
+            continue
+        mod = attrs.get("mod")  # type: ignore[union-attr]
+        if not isinstance(mod, Mapping):
+            continue
+        apply_mod(model.topics.setdefault(topic, {}), mod)
+        pending = True
+        if str(mod.get("key", "")).startswith("points."):
+            yield model, render_frame(model)
+            pending = False
+    if pending or not model.topics:
+        yield model, render_frame(model)

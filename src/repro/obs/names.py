@@ -157,6 +157,55 @@ HISTOGRAMS: dict[str, tuple[float, ...]] = {
 }
 
 # ---------------------------------------------------------------------------
+# Dataset-bus topic names (publish/subscribe broadcast channels)
+# ---------------------------------------------------------------------------
+
+#: Job-queue state: counts, worker sizing, per-job summaries.
+TOPIC_QUEUE = "queue.state"
+#: The metrics registry, rate-limited and diffed against the last
+#: broadcast (see ``repro.service.datasets.MetricsPublisher``).
+TOPIC_METRICS = "metrics.registry"
+#: Per-sweep live datasets: one topic per sweep, keyed below the
+#: family prefix (``datasets.sweep.<key>``).  The ``datasets.`` family
+#: is journaled, so stale subscribers can recover from the obs journal
+#: and ``repro dashboard --replay`` works offline.
+TOPIC_SWEEP_PREFIX = "datasets.sweep."
+
+#: Every declared fixed topic name (families validate by prefix).
+TOPICS = frozenset({TOPIC_QUEUE, TOPIC_METRICS})
+
+#: Declared topic-family prefixes (member topics carry a dynamic key).
+TOPIC_PREFIXES = (TOPIC_SWEEP_PREFIX,)
+
+
+def sweep_topic(key: str) -> str:
+    """The dataset-bus topic of one sweep (``datasets.sweep.<key>``)."""
+    return f"{TOPIC_SWEEP_PREFIX}{key}"
+
+
+def require_topic(name: str) -> str:
+    """Validate a dataset-bus topic name; returns it unchanged.
+
+    A topic is either a fixed member of :data:`TOPICS` or belongs to a
+    declared family (a :data:`TOPIC_PREFIXES` prefix plus a non-empty
+    key) — anything else is an unregistered topic, mirroring
+    :func:`require_span` for the bus.
+    """
+    if name in TOPICS:
+        return name
+    for prefix in TOPIC_PREFIXES:
+        if name.startswith(prefix) and len(name) > len(prefix):
+            return name
+    from repro.errors import ConfigurationError
+
+    raise ConfigurationError(
+        f"unregistered bus topic {name!r}; declare it in repro.obs.names "
+        f"(known topics: {sorted(TOPICS)}, families: "
+        f"{[p + '<key>' for p in TOPIC_PREFIXES]})"
+    )
+
+
+# ---------------------------------------------------------------------------
 # Journal event names (lifecycle transitions)
 # ---------------------------------------------------------------------------
 
@@ -173,6 +222,12 @@ EVENT_ANALYZER_FINISHED = "analyzer.finished"
 EVENT_PIPELINE_FINISHED = "pipeline.finished"
 #: Telemetry came up in a process (``pid``, ``root``).
 EVENT_OBS_STARTED = "obs.started"
+#: A dataset-bus ``init`` snapshot was published on a journaled topic
+#: (``topic``, ``bus_seq``, ``snapshot``).
+EVENT_DATASET_INIT = "dataset.init"
+#: A dataset-bus ``mod`` diff was published on a journaled topic
+#: (``topic``, ``bus_seq``, ``mod``).
+EVENT_DATASET_MOD = "dataset.mod"
 
 #: Every declared journal-event name.
 EVENTS = frozenset(
@@ -183,6 +238,8 @@ EVENTS = frozenset(
         EVENT_ANALYZER_FINISHED,
         EVENT_PIPELINE_FINISHED,
         EVENT_OBS_STARTED,
+        EVENT_DATASET_INIT,
+        EVENT_DATASET_MOD,
     }
 )
 

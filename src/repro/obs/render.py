@@ -166,6 +166,109 @@ def render_metrics(snapshot: Mapping[str, object]) -> str:
     return "\n".join(lines)
 
 
+def _prom_series(key: str) -> tuple[str, str]:
+    """Split a snapshot series key into (metric name, label suffix).
+
+    ``repro.rpc.requests{method=submit}`` →
+    ``("repro_rpc_requests", '{method="submit"}')``.  Dots become
+    underscores (Prometheus identifier charset) and label values gain
+    the quoting the exposition format requires.
+    """
+    name, _, raw = key.partition("{")
+    metric = "repro_" + name.replace(".", "_").replace("-", "_")
+    if not raw:
+        return metric, ""
+    pairs = []
+    for item in raw.rstrip("}").split(","):
+        label, _, value = item.partition("=")
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        pairs.append(f'{label}="{escaped}"')
+    return metric, "{" + ",".join(pairs) + "}"
+
+
+def _prom_value(value: object) -> str:
+    """A Prometheus sample value (floats in ``%g``, ints verbatim)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return "0"
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:g}"
+
+
+def render_prometheus(snapshot: Mapping[str, object]) -> str:
+    """A metrics snapshot in the Prometheus text exposition format.
+
+    Shared verbatim by ``repro metrics --prom`` and the daemon's
+    ``GET /metrics`` endpoint.  Counters gain the conventional
+    ``_total`` suffix, histograms are expanded into cumulative
+    ``_bucket{le=...}`` series (the snapshot stores per-bucket counts,
+    so this re-accumulates them) plus ``_sum``/``_count``, and every
+    family gets ``# HELP``/``# TYPE`` header lines.  Output ends with a
+    newline, as scrapers expect.
+    """
+    lines: list[str] = []
+
+    def family(metric: str, kind: str) -> None:
+        """Emit the HELP/TYPE header of one metric family once."""
+        lines.append(f"# HELP {metric} repro telemetry series")
+        lines.append(f"# TYPE {metric} {kind}")
+
+    counters = snapshot.get("counters")
+    if isinstance(counters, dict):
+        grouped: dict[str, list[tuple[str, object]]] = {}
+        for key in sorted(counters):
+            metric, labels = _prom_series(str(key))
+            grouped.setdefault(metric + "_total", []).append(
+                (labels, counters[key])
+            )
+        for metric in sorted(grouped):
+            family(metric, "counter")
+            for labels, value in grouped[metric]:
+                lines.append(f"{metric}{labels} {_prom_value(value)}")
+    gauges = snapshot.get("gauges")
+    if isinstance(gauges, dict):
+        grouped = {}
+        for key in sorted(gauges):
+            metric, labels = _prom_series(str(key))
+            grouped.setdefault(metric, []).append((labels, gauges[key]))
+        for metric in sorted(grouped):
+            family(metric, "gauge")
+            for labels, value in grouped[metric]:
+                lines.append(f"{metric}{labels} {_prom_value(value)}")
+    histograms = snapshot.get("histograms")
+    if isinstance(histograms, dict):
+        for key in sorted(histograms):
+            doc = histograms[key]
+            if not isinstance(doc, dict):
+                continue
+            metric, labels = _prom_series(str(key))
+            inner = labels[1:-1] if labels else ""
+            family(metric, "histogram")
+            buckets = doc.get("buckets")
+            cumulative = 0
+            if isinstance(buckets, dict):
+                for bucket, count in buckets.items():
+                    if bucket == "overflow":
+                        continue
+                    cumulative += int(count) if isinstance(count, int) else 0
+                    bound = bucket.partition("=")[2]
+                    pairs = ",".join(
+                        p for p in (inner, f'le="{bound}"') if p
+                    )
+                    lines.append(
+                        f"{metric}_bucket{{{pairs}}} {cumulative}"
+                    )
+            pairs = ",".join(p for p in (inner, 'le="+Inf"') if p)
+            lines.append(
+                f"{metric}_bucket{{{pairs}}} {_prom_value(doc.get('count'))}"
+            )
+            lines.append(f"{metric}_sum{labels} {_prom_value(doc.get('sum'))}")
+            lines.append(
+                f"{metric}_count{labels} {_prom_value(doc.get('count'))}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
 def journal_summary(
     entries: Iterable[Mapping[str, object]],
 ) -> dict[str, object]:

@@ -288,6 +288,7 @@ class RunEngine:
         outcomes: list[RunOutcome | None],
         pending: list[int],
         done: int,
+        on_outcome: Callable[[int, RunOutcome], None] | None = None,
     ) -> None:
         """Execute cache misses per point, pooled when workers allow."""
         if pending and self.max_workers > 1 and len(pending) > 1:
@@ -321,12 +322,16 @@ class RunEngine:
                     outcome = self._complete(specs[index], record, duration)
                     outcomes[index] = outcome
                     done += 1
+                    if on_outcome is not None:
+                        on_outcome(index, outcome)
                     self._report(done, len(specs), outcome)
         else:
             for index in pending:
                 outcome = self.compute(specs[index])
                 outcomes[index] = outcome
                 done += 1
+                if on_outcome is not None:
+                    on_outcome(index, outcome)
                 self._report(done, len(specs), outcome)
 
     def sweep(
@@ -357,13 +362,42 @@ class RunEngine:
             specs.append(
                 RunSpec.make(experiment_id, seed=seed, quick=quick, params=merged)
             )
+        publisher = None
+        on_outcome = None
+        if obs.enabled():
+            # Lazy import: repro.service imports this module, so the
+            # publisher (which only needs the obs façade) is pulled in
+            # at sweep time rather than at engine-import time.
+            from repro.service.datasets import SweepPublisher
+
+            publisher = SweepPublisher.for_local(
+                experiment_id,
+                scan.describe(),
+                seed,
+                quick,
+                base_params,
+                total=len(points),
+            )
+        if publisher is not None:
+
+            def on_outcome(index: int, outcome: RunOutcome) -> None:
+                publisher.point(
+                    index,
+                    points[index],
+                    dict(outcome.result.metrics),
+                    run_id=outcome.run_id,
+                    cached=outcome.cached,
+                )
+
         sweep_start = time.perf_counter()
         with obs.span(
             obs_names.SPAN_ENGINE_SWEEP,
             experiment=experiment_id.upper(),
             points=len(points),
         ) as sweep_span:
-            outcomes, pending, done = self._partition_hits(specs)
+            outcomes, pending, done = self._partition_hits(
+                specs, on_outcome=on_outcome
+            )
             if pending:
                 # Decide the execution strategy only once something actually
                 # misses: a fully cached sweep must never import the driver
@@ -376,9 +410,13 @@ class RunEngine:
                         experiment_id
                     )
                 if batch:
-                    self._run_pending_batch(specs, outcomes, pending, done)
+                    self._run_pending_batch(
+                        specs, outcomes, pending, done, on_outcome=on_outcome
+                    )
                 else:
-                    self._run_pending_pool(specs, outcomes, pending, done)
+                    self._run_pending_pool(
+                        specs, outcomes, pending, done, on_outcome=on_outcome
+                    )
             sweep_span.set(cached=len(points) - len(pending))
         elapsed = time.perf_counter() - sweep_start
         if points and elapsed > 0:
@@ -387,6 +425,8 @@ class RunEngine:
                 len(points) / elapsed,
                 experiment=experiment_id.upper(),
             )
+        if publisher is not None:
+            publisher.finish("done")
         return SweepOutcome(
             experiment_id=experiment_id.upper(),
             scan_description=scan.describe(),
@@ -427,6 +467,7 @@ class RunEngine:
         outcomes: list[RunOutcome | None],
         pending: list[int],
         done: int,
+        on_outcome: Callable[[int, RunOutcome], None] | None = None,
     ) -> None:
         """Execute cache misses as one in-process registry batch call.
 
@@ -479,6 +520,8 @@ class RunEngine:
                     raise
                 outcomes[index] = outcome
                 done += 1
+                if on_outcome is not None:
+                    on_outcome(index, outcome)
                 self._report(done, len(specs), outcome)
                 last = time.perf_counter()
 
@@ -602,7 +645,9 @@ class RunEngine:
     # Internals
     # ------------------------------------------------------------------
     def _partition_hits(
-        self, specs: list[RunSpec]
+        self,
+        specs: list[RunSpec],
+        on_outcome: Callable[[int, RunOutcome], None] | None = None,
     ) -> tuple[list[RunOutcome | None], list[int], int]:
         """Serve cache hits; return (outcomes, pending indices, done).
 
@@ -617,6 +662,8 @@ class RunEngine:
             if hit is not None:
                 outcomes[index] = hit
                 done += 1
+                if on_outcome is not None:
+                    on_outcome(index, hit)
                 self._report(done, len(specs), hit)
             else:
                 pending.append(index)

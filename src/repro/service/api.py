@@ -44,6 +44,7 @@ from repro.errors import (
 )
 from repro.obs import names as obs_names
 from repro.runtime.engine import RunEngine, default_root
+from repro.service import datasets
 from repro.service.scheduler import Scheduler
 from repro.service.store import JobStore
 from repro.utils.io import atomic_write_text
@@ -100,6 +101,7 @@ class ExperimentService:
         self._httpd: ThreadingHTTPServer | None = None
         self._http_thread: threading.Thread | None = None
         self._started_unix: float | None = None
+        self.metrics_publisher = datasets.MetricsPublisher()
         self._methods = {
             "submit": self._rpc_submit,
             "status": self._rpc_status,
@@ -108,6 +110,8 @@ class ExperimentService:
             "requeue": self._rpc_requeue,
             "queue": self._rpc_queue,
             "events": self._rpc_events,
+            "subscribe": self._rpc_subscribe,
+            "poll_datasets": self._rpc_poll_datasets,
             "health": self._rpc_health,
             "metrics": self._rpc_metrics,
             "shutdown": self._rpc_shutdown,
@@ -141,6 +145,12 @@ class ExperimentService:
         )
         self._http_thread.start()
         self._publish_address()
+        # Seed the queue topic with the recovered queue and start the
+        # periodic metrics broadcasts (both no-ops while obs is off).
+        datasets.publish_queue_init(
+            self.store.snapshot(), self.scheduler.workers
+        )
+        self.metrics_publisher.start()
         return self.address
 
     @property
@@ -166,6 +176,7 @@ class ExperimentService:
         if self._http_thread is not None:
             self._http_thread.join(timeout=5.0)
             self._http_thread = None
+        self.metrics_publisher.stop()
         self.scheduler.stop(wait=True)
         self.service_file_path().unlink(missing_ok=True)
 
@@ -350,6 +361,49 @@ class ExperimentService:
             payload["gap"] = True
         return payload
 
+    def _rpc_subscribe(
+        self, topics: list[str] | None = None
+    ) -> dict[str, object]:
+        """Init snapshots + cursors of the dataset bus's topics.
+
+        ``topics`` restricts the subscription (``None`` = everything
+        currently live); unknown names subscribe at seq 0 so a client
+        can watch a sweep that has not started yet.  The returned
+        per-topic ``seq`` values are the cursors to feed
+        :meth:`_rpc_poll_datasets`.
+        """
+        if topics is not None and not isinstance(topics, list):
+            raise ConfigurationError("subscribe 'topics' must be a list")
+        bus = obs.state().bus
+        return {"topics": bus.subscribe(topics)}
+
+    def _rpc_poll_datasets(
+        self,
+        cursors: dict[str, int] | None = None,
+        timeout: float = 0.0,
+    ) -> dict[str, object]:
+        """Long-poll the dataset bus across one cursor per topic.
+
+        Per-topic payloads follow the bus wire contract: ordered
+        ``mods`` with consecutive sequence numbers, an ``init``
+        snapshot on resynchronisation, and ``"gap": true`` only when
+        diffs were irrecoverably lost (see :mod:`repro.obs.bus`).
+        Many concurrent pollers each block on their own request thread.
+        """
+        if not isinstance(cursors, dict) or not cursors:
+            raise ConfigurationError(
+                "poll_datasets needs a non-empty 'cursors' object "
+                "(topic → last seen seq; start from a 'subscribe' call)"
+            )
+        bus = obs.state().bus
+        try:
+            wanted = {str(k): int(v) for k, v in cursors.items()}
+        except (TypeError, ValueError) as error:
+            raise ConfigurationError(
+                f"poll_datasets cursors must map topic → integer seq: {error}"
+            ) from error
+        return {"topics": bus.poll(wanted, min(timeout, MAX_POLL_S))}
+
     def _rpc_health(self) -> dict[str, object]:
         """Liveness snapshot: pid, uptime, worker and queue counts."""
         counts = self.store.snapshot()["counts"]
@@ -398,9 +452,14 @@ class _RPCHandler(BaseHTTPRequestHandler):
         """Suppress per-request stderr logging."""
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        """Health probe endpoint for shell scripts and CI."""
-        if self.path.rstrip("/") in ("", "/healthz"):
+        """Health probe + read-only Prometheus scrape endpoint."""
+        path = self.path.rstrip("/")
+        if path in ("", "/healthz"):
             self._reply(200, self.context.dispatch("health", {}))
+        elif path == "/metrics":
+            from repro.obs.render import render_prometheus
+
+            self._reply_text(200, render_prometheus(obs.snapshot()))
         else:
             self._reply(
                 404,
@@ -485,9 +544,16 @@ class _RPCHandler(BaseHTTPRequestHandler):
 
     def _reply(self, code: int, payload: dict[str, object]) -> None:
         """Serialise one JSON response."""
-        body = json.dumps(payload).encode("utf-8")
+        self._send(code, json.dumps(payload).encode("utf-8"), "application/json")
+
+    def _reply_text(self, code: int, text: str) -> None:
+        """Serialise one plain-text response (the Prometheus scrape)."""
+        self._send(code, text.encode("utf-8"), "text/plain; charset=utf-8")
+
+    def _send(self, code: int, body: bytes, content_type: str) -> None:
+        """Write one complete HTTP response, tolerating client hangups."""
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         try:

@@ -229,6 +229,57 @@ class ServiceClient:
             bool(result.get("gap", False)),
         )
 
+    def subscribe(
+        self, topics: list[str] | None = None
+    ) -> dict[str, dict[str, object]]:
+        """Subscribe to dataset-bus topics; returns topic → init payload.
+
+        Each payload is ``{"init": snapshot, "seq": n}``; feed the seqs
+        back to :meth:`poll_datasets` as the starting cursors.  ``None``
+        subscribes to every topic currently live on the daemon.
+        """
+        params: dict[str, object] = {}
+        if topics is not None:
+            params["topics"] = list(topics)
+        return dict(self.call("subscribe", params).get("topics", {}))
+
+    def poll_datasets(
+        self,
+        cursors: dict[str, int],
+        timeout: float = 0.0,
+    ) -> dict[str, dict[str, object]]:
+        """Long-poll the dataset bus; returns topic → diff payload.
+
+        Per-topic payloads carry ordered ``mods`` (apply with
+        :func:`repro.obs.bus.apply_mod`), plus ``init`` and ``gap`` on
+        resynchronisation — see :mod:`repro.obs.bus` for the contract.
+        """
+        result = self.call(
+            "poll_datasets",
+            {
+                "cursors": {str(k): int(v) for k, v in cursors.items()},
+                "timeout": timeout,
+            },
+            timeout=timeout + _POLL_SLACK_S,
+        )
+        return dict(result.get("topics", {}))
+
+    def metrics_text(self) -> str:
+        """The daemon's ``GET /metrics`` Prometheus exposition text."""
+        request = urllib.request.Request(
+            f"{self.url}/metrics", method="GET"
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"experiment service unreachable at {self.url}: "
+                f"{getattr(error, 'reason', error)}"
+            ) from error
+
     def health(self) -> dict[str, object]:
         """The daemon's liveness snapshot."""
         return self.call("health")

@@ -1,0 +1,334 @@
+"""Dataset publishers: sweeps, queue state and metrics onto the obs bus.
+
+The service-side half of the live-dataset layer (the bus itself lives
+in :mod:`repro.obs.bus`).  Three topic families are produced here:
+
+``datasets.sweep.<key>``
+    One topic per sweep.  The scheduler keys it by job id
+    (``job-<id>``); local engine sweeps key it by a content hash of the
+    sweep request, so re-running the same sweep lands on the same
+    topic.  An ``init`` carries the sweep header; every completed point
+    arrives as a ``set points.<index>`` diff (points are a dict keyed
+    by the stringified scan index because pooled execution completes
+    them out of order), and a final ``update`` publishes the terminal
+    status.  Journaled — the offline dashboard replays these.
+
+``queue.state``
+    One snapshot of the job queue per daemon, maintained by
+    :class:`repro.service.store.JobStore` calling
+    :func:`publish_queue_job` on every transition.
+
+``metrics.registry``
+    Periodic diffs of the process metrics snapshot, produced by the
+    :class:`MetricsPublisher` thread — rate-limited and diffed against
+    the last broadcast so an idle daemon broadcasts nothing.
+
+Everything here is stdlib-only and imports nothing but the obs façade,
+so the runtime engine can lazily import it from inside ``sweep()``
+without creating an import cycle (service → engine → service).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections.abc import Mapping
+
+from repro import obs
+from repro.obs import names
+
+#: Version stamp carried in every sweep/queue init snapshot.
+DATASET_SCHEMA = 1
+
+#: Default broadcast cadence of the metrics publisher thread.
+METRICS_INTERVAL_S = 2.0
+
+
+def sweep_key(
+    experiment_id: str,
+    scan: Mapping[str, object] | None,
+    seed: int,
+    quick: bool,
+    params: Mapping[str, object] | None,
+) -> str:
+    """The stable topic key of one local sweep request.
+
+    A content hash, so repeating the same sweep (the common
+    cache-warmed workflow) continues its existing topic instead of
+    leaking a new one per invocation.
+    """
+    payload = json.dumps(
+        {
+            "experiment": experiment_id.upper(),
+            "scan": dict(scan) if scan else None,
+            "seed": int(seed),
+            "quick": bool(quick),
+            "params": dict(params or {}),
+        },
+        sort_keys=True,
+        default=str,
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+    return f"{experiment_id.upper()}-{digest}"
+
+
+def job_key(job_id: int) -> str:
+    """The topic key of one scheduler job's sweep."""
+    return f"job-{int(job_id)}"
+
+
+class SweepPublisher:
+    """Publishes one sweep's init/point/finish lifecycle onto the bus.
+
+    Construct through :meth:`for_job` or :meth:`for_local` — both
+    return ``None`` while telemetry is disabled, so callers guard with
+    ``if publisher is not None`` and the disabled path never builds a
+    document.
+    """
+
+    def __init__(
+        self, topic: str, header: Mapping[str, object], total: int
+    ) -> None:
+        self.topic = topic
+        self._done = 0
+        self._cached = 0
+        snapshot: dict[str, object] = {
+            "schema": DATASET_SCHEMA,
+            "points": {},
+            "counts": {"done": 0, "cached": 0, "total": int(total)},
+            "status": "running",
+        }
+        snapshot.update(header)
+        obs.publish_init(topic, snapshot)
+
+    @classmethod
+    def for_job(cls, job: object, total: int) -> "SweepPublisher | None":
+        """A publisher for one scheduler sweep job (None when disabled)."""
+        if not obs.enabled():
+            return None
+        topic = names.sweep_topic(job_key(job.job_id))  # type: ignore[attr-defined]
+        header = {
+            "experiment": str(job.experiment_id),  # type: ignore[attr-defined]
+            "job_id": int(job.job_id),  # type: ignore[attr-defined]
+            "seed": int(job.seed),  # type: ignore[attr-defined]
+            "quick": bool(job.quick),  # type: ignore[attr-defined]
+            "scan": dict(job.scan) if job.scan else None,  # type: ignore[attr-defined]
+        }
+        return cls(topic, header, total)
+
+    @classmethod
+    def for_local(
+        cls,
+        experiment_id: str,
+        scan: Mapping[str, object] | None,
+        seed: int,
+        quick: bool,
+        params: Mapping[str, object] | None,
+        total: int,
+    ) -> "SweepPublisher | None":
+        """A publisher for one in-process engine sweep (None when disabled)."""
+        if not obs.enabled():
+            return None
+        topic = names.sweep_topic(
+            sweep_key(experiment_id, scan, seed, quick, params)
+        )
+        header = {
+            "experiment": experiment_id.upper(),
+            "job_id": None,
+            "seed": int(seed),
+            "quick": bool(quick),
+            "scan": dict(scan) if scan else None,
+        }
+        return cls(topic, header, total)
+
+    def point(
+        self,
+        index: int,
+        params: Mapping[str, object],
+        metrics: Mapping[str, object],
+        run_id: str | None = None,
+        cached: bool = False,
+    ) -> None:
+        """Publish one completed sweep point and bump the counters."""
+        obs.publish_mod(
+            self.topic,
+            {
+                "op": "set",
+                "key": f"points.{int(index)}",
+                "value": {
+                    "params": dict(params),
+                    "metrics": dict(metrics),
+                    "run_id": run_id,
+                    "cached": bool(cached),
+                },
+            },
+        )
+        self._done += 1
+        if cached:
+            self._cached += 1
+        obs.publish_mod(
+            self.topic,
+            {
+                "op": "update",
+                "key": "counts",
+                "value": {"done": self._done, "cached": self._cached},
+            },
+        )
+
+    def finish(
+        self, status: str, metrics: Mapping[str, object] | None = None
+    ) -> None:
+        """Publish the terminal status (and final metrics) of the sweep."""
+        value: dict[str, object] = {"status": str(status)}
+        if metrics is not None:
+            value["metrics"] = dict(metrics)
+        obs.publish_mod(self.topic, {"op": "update", "key": "", "value": value})
+
+
+# ---------------------------------------------------------------------------
+# Queue-state topic
+# ---------------------------------------------------------------------------
+
+
+def publish_queue_init(
+    snapshot: Mapping[str, object], workers: int
+) -> None:
+    """Broadcast the queue topic's init from a store snapshot document."""
+    if not obs.enabled():
+        return
+    jobs = snapshot.get("jobs")
+    documents = {
+        str(doc["job_id"]): _job_summary(doc)
+        for doc in (jobs if isinstance(jobs, list) else [])
+        if isinstance(doc, dict)
+    }
+    obs.publish_init(
+        names.TOPIC_QUEUE,
+        {
+            "schema": DATASET_SCHEMA,
+            "workers": int(workers),
+            "counts": dict(snapshot.get("counts") or {}),
+            "jobs": documents,
+        },
+    )
+
+
+def publish_queue_job(
+    job_document: Mapping[str, object], counts: Mapping[str, int]
+) -> None:
+    """Broadcast one job transition onto the queue topic.
+
+    Called by the store with the job's serialized document and the
+    fresh per-status counts; two mods keep the topic's ``jobs.<id>``
+    entry and the aggregate counters in lock-step.
+    """
+    if not obs.enabled():
+        return
+    summary = _job_summary(job_document)
+    obs.publish_mod(
+        names.TOPIC_QUEUE,
+        {
+            "op": "set",
+            "key": f"jobs.{job_document['job_id']}",
+            "value": summary,
+        },
+    )
+    obs.publish_mod(
+        names.TOPIC_QUEUE,
+        {"op": "set", "key": "counts", "value": dict(counts)},
+    )
+
+
+def _job_summary(document: Mapping[str, object]) -> dict[str, object]:
+    """The dashboard-sized slice of one job document."""
+    return {
+        key: document.get(key)
+        for key in (
+            "job_id",
+            "kind",
+            "experiment_id",
+            "status",
+            "done_points",
+            "total_points",
+            "cached_points",
+            "priority",
+        )
+    }
+
+
+# ---------------------------------------------------------------------------
+# Metrics-registry topic
+# ---------------------------------------------------------------------------
+
+
+class MetricsPublisher:
+    """Broadcasts metrics-snapshot diffs on a timer thread.
+
+    Every tick takes :func:`repro.obs.snapshot` and publishes only the
+    series that changed since the last broadcast (one ``update`` mod
+    per changed section), so subscribers pay for activity, not for
+    time.  The first tick publishes the init snapshot.  The daemon owns
+    the thread's lifecycle; :meth:`publish_once` is the testable core.
+    """
+
+    def __init__(self, interval_s: float = METRICS_INTERVAL_S) -> None:
+        self.interval_s = max(0.05, float(interval_s))
+        self._last: dict[str, dict[str, object]] | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def publish_once(self) -> int:
+        """One broadcast cycle; returns how many publishes went out."""
+        if not obs.enabled():
+            return 0
+        snapshot = obs.snapshot()
+        document = {
+            section: dict(snapshot.get(section) or {})
+            for section in ("counters", "gauges", "histograms")
+        }
+        if self._last is None:
+            obs.publish_init(
+                names.TOPIC_METRICS,
+                {"schema": DATASET_SCHEMA, **document},
+            )
+            self._last = document
+            return 1
+        published = 0
+        for section, series in document.items():
+            previous = self._last[section]
+            changed = {
+                key: value
+                for key, value in series.items()
+                if previous.get(key) != value
+            }
+            if changed:
+                obs.publish_mod(
+                    names.TOPIC_METRICS,
+                    {"op": "update", "key": section, "value": changed},
+                )
+                published += 1
+        self._last = document
+        return published
+
+    def start(self) -> None:
+        """Spawn the broadcast thread (idempotent while running)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-metrics-publisher", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop and join the broadcast thread."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _loop(self) -> None:
+        """Publish until stopped, pacing on the stop event's timeout."""
+        while not self._stop.wait(self.interval_s):
+            self.publish_once()

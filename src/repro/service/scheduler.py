@@ -35,6 +35,7 @@ from repro.runtime.engine import (
     _execute_safe,
     _failure_from,
 )
+from repro.service.datasets import SweepPublisher
 from repro.service.jobs import (
     CANCELLED,
     DONE,
@@ -238,26 +239,46 @@ class Scheduler:
         points = list(scan)
         total = len(points)
         last_metrics: dict[str, float] = {}
-        for index, point in enumerate(points):
-            if job.cancel_requested:
-                self.store.finish(job, CANCELLED)
-                return
-            merged = dict(job.params)
-            merged.update(point)
-            spec = RunSpec.make(
-                job.experiment_id,
-                seed=job.seed,
-                quick=job.quick,
-                params=merged,
-            )
-            outcome = self.engine.lookup(spec)
-            cached = outcome is not None
-            if outcome is None:
-                outcome = self._compute(spec)
-            last_metrics = dict(outcome.result.metrics)
-            self.store.update_progress(
-                job, index + 1, total, run_id=outcome.run_id, cached=cached
-            )
+        publisher = SweepPublisher.for_job(job, total)
+        try:
+            for index, point in enumerate(points):
+                if job.cancel_requested:
+                    if publisher is not None:
+                        publisher.finish(CANCELLED)
+                    self.store.finish(job, CANCELLED)
+                    return
+                merged = dict(job.params)
+                merged.update(point)
+                spec = RunSpec.make(
+                    job.experiment_id,
+                    seed=job.seed,
+                    quick=job.quick,
+                    params=merged,
+                )
+                outcome = self.engine.lookup(spec)
+                cached = outcome is not None
+                if outcome is None:
+                    outcome = self._compute(spec)
+                last_metrics = dict(outcome.result.metrics)
+                if publisher is not None:
+                    publisher.point(
+                        index,
+                        point,
+                        last_metrics,
+                        run_id=outcome.run_id,
+                        cached=cached,
+                    )
+                self.store.update_progress(
+                    job, index + 1, total, run_id=outcome.run_id, cached=cached
+                )
+        except Exception:
+            # The job-level handler records the failure; the topic must
+            # still reach a terminal status for dashboards.
+            if publisher is not None:
+                publisher.finish(FAILED)
+            raise
+        if publisher is not None:
+            publisher.finish(DONE, metrics=last_metrics)
         self.store.finish(job, DONE, metrics=last_metrics)
 
     def _run_analyze(self, job: Job) -> None:

@@ -41,6 +41,7 @@ from collections.abc import Iterable, Mapping
 from repro import obs
 from repro.errors import ConfigurationError
 from repro.obs import names as obs_names
+from repro.service import datasets
 from repro.runtime.engine import RunEngine, RunSpec, default_root
 from repro.service.jobs import (
     ANALYSIS_EXPERIMENT,
@@ -628,12 +629,12 @@ class JobStore:
             },
         )
         if obs.enabled():
-            depth = sum(
-                1
-                for other in self._jobs.values()
-                if other.status in (PENDING, RUNNING)
-            )
+            counts: dict[str, int] = {}
+            for other in self._jobs.values():
+                counts[other.status] = counts.get(other.status, 0) + 1
+            depth = counts.get(PENDING, 0) + counts.get(RUNNING, 0)
             obs.gauge(obs_names.METRIC_QUEUE_DEPTH, depth)
+            datasets.publish_queue_job(job.to_dict(), counts)
 
 
 def _valid_seq(value: object) -> bool:

@@ -1,0 +1,129 @@
+"""The interactive archive browser, driven through StringIO streams."""
+
+from __future__ import annotations
+
+import io
+import os
+import pathlib
+
+import pytest
+
+from repro.analysis.browse import ArchiveBrowser
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def archive_root(tmp_path_factory):
+    """One archive with an E7 sweep and a lone E1 run, built once."""
+    root = tmp_path_factory.mktemp("browse-archive")
+    from repro.runtime.engine import RunEngine
+    from repro.runtime.scan import ListScan
+
+    engine = RunEngine(root=root)
+    engine.run("E1", quick=True, seed=1)
+    engine.sweep(
+        "E7",
+        ListScan("pump_phase_rad", [0.0, 0.6, 1.2]),
+        quick=True,
+        seed=3,
+    )
+    return root
+
+
+def drive(root, script: str) -> str:
+    """Run a command script through one browser; returns its transcript."""
+    out = io.StringIO()
+    ArchiveBrowser(root).run(io.StringIO(script), out)
+    return out.getvalue()
+
+
+class TestCommands:
+    def test_stats_banner_and_quit(self, archive_root):
+        transcript = drive(archive_root, "quit\n")
+        assert "repro archive browser" in transcript
+        assert "runs: 4" in transcript
+        assert "E7=3" in transcript
+
+    def test_list_shows_every_run_newest_first(self, archive_root):
+        transcript = drive(archive_root, "list\nquit\n")
+        assert transcript.count("E7-") == 3
+        assert "E1-" in transcript
+        assert transcript.index("E7-") < transcript.index("E1-")
+
+    def test_experiment_filter_and_reset(self, archive_root):
+        transcript = drive(archive_root, "exp e7\nreset\nquit\n")
+        assert "experiment=E7" in transcript  # case-folded upward
+        assert "E1-" not in transcript.split("view reset")[0].split(">", 2)[2]
+        assert "view reset: experiment=all status=all" in transcript
+
+    def test_sort_adds_metric_column_descending(self, archive_root):
+        transcript = drive(
+            archive_root, "exp E7\nsort visibility_mean\nquit\n"
+        )
+        assert "visibility_mean" in transcript
+        lines = [
+            line
+            for line in transcript.splitlines()
+            if line.startswith("| E7-")
+        ]
+        values = [float(line.split("|")[4]) for line in lines]
+        assert values == sorted(values, reverse=True)
+
+    def test_where_range_filters(self, archive_root):
+        transcript = drive(
+            archive_root, "exp E7\nwhere pump_phase_rad=0:1\nquit\n"
+        )
+        body = transcript.split("where[")[1]
+        assert body.count("E7-") == 2  # 0.0 and 0.6 match, 1.2 does not
+
+    def test_show_accepts_unique_prefix(self, archive_root):
+        browser = ArchiveBrowser(archive_root)
+        run_id = str(browser.index.query(experiment="E7")[0]["run_id"])
+        output, _ = browser.execute(f"show {run_id[:8]}")
+        assert '"experiment_id": "E7"' in output
+        assert "archive:" in output
+
+    def test_show_unknown_run_is_graceful(self, archive_root):
+        output, keep_going = ArchiveBrowser(archive_root).execute(
+            "show nope"
+        )
+        assert "no run 'nope'" in output
+        assert keep_going
+
+    def test_sweeps_requires_experiment_then_groups(self, archive_root):
+        browser = ArchiveBrowser(archive_root)
+        hint, _ = browser.execute("sweeps")
+        assert "exp E7" in hint
+        browser.execute("exp E7")
+        output, _ = browser.execute("sweeps")
+        assert "pump_phase_rad" in output
+        assert "| 3" in output  # three runs in the family
+
+    def test_bad_where_reports_error_not_crash(self, archive_root):
+        output, keep_going = ArchiveBrowser(archive_root).execute(
+            "where ="
+        )
+        assert output.startswith("error:")
+        assert keep_going
+
+    def test_unknown_command_hint_and_eof_exit(self, archive_root):
+        transcript = drive(archive_root, "frobnicate\n")  # EOF ends loop
+        assert "unknown command 'frobnicate'" in transcript
+
+
+class TestCli:
+    def test_repro_browse_round_trip(self, archive_root, capsys, monkeypatch):
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("exp E7\nquit\n")
+        )
+        assert main(["browse", "--archive-dir", str(archive_root)]) == 0
+        out = capsys.readouterr().out
+        assert "repro archive browser" in out
+        assert "experiment=E7" in out
+
+    def test_browse_defaults_to_runtime_root(self, capsys, monkeypatch):
+        root = pathlib.Path(os.environ["REPRO_RUNTIME_ROOT"])
+        root.mkdir(parents=True, exist_ok=True)
+        monkeypatch.setattr("sys.stdin", io.StringIO("quit\n"))
+        assert main(["browse"]) == 0
+        assert "runs: 0" in capsys.readouterr().out

@@ -9,6 +9,7 @@ import textwrap
 
 from repro.devtools.check.rules import all_rules
 from repro.devtools.check.rules.atomic_io import AtomicIoRule
+from repro.devtools.check.rules.bus_topics import BusTopicsRule
 from repro.devtools.check.rules.cache_schema import (
     CacheSchemaRule,
     symbol_digest,
@@ -503,5 +504,75 @@ class TestObsNamesRule:
                 """
             },
             [ObsNamesRule()],
+        )
+        assert findings == []
+
+
+class TestBusTopicsRule:
+    def test_string_literal_topic_flagged(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/service/queue.py": """
+                from repro import obs
+
+                def announce(snapshot):
+                    obs.publish_init("queue-state", snapshot)
+                    obs.publish_mod(topic="queue-state", mod={})
+                """
+            },
+            [BusTopicsRule()],
+        )
+        assert len(findings) == 2
+        assert all(f.rule == "OBS002" for f in findings)
+        assert "TOPIC_" in findings[0].message
+
+    def test_unknown_topic_constant_flagged(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/service/queue.py": """
+                from repro import obs
+                from repro.obs import names
+
+                def announce(snapshot):
+                    obs.publish_init(names.TOPIC_QUEU, snapshot)
+                """
+            },
+            [BusTopicsRule()],
+        )
+        assert len(findings) == 1
+        assert "TOPIC_QUEU" in findings[0].message
+
+    def test_constants_builders_and_variables_clean(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/service/queue.py": """
+                from repro import obs
+                from repro.obs import names
+
+                def announce(snapshot, key, topic):
+                    obs.publish_init(names.TOPIC_QUEUE, snapshot)
+                    obs.publish_init(names.sweep_topic(key), snapshot)
+                    obs.publish_mod(topic, {"op": "set"})
+                """
+            },
+            [BusTopicsRule()],
+        )
+        assert findings == []
+
+    def test_obs_package_and_outside_modules_exempt(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/obs/bus.py": """
+                def publish_init(topic, snapshot):
+                    return publish_init("anything", snapshot)
+                """,
+                "tools/probe.py": """
+                from repro import obs
+
+                def poke():
+                    obs.publish_mod("datasets.sweep.x", {})
+                """,
+            },
+            [BusTopicsRule()],
         )
         assert findings == []

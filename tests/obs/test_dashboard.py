@@ -1,0 +1,231 @@
+"""Dashboard model, frame renderer and offline journal replay."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.obs import names
+from repro.obs.dashboard import (
+    DashboardModel,
+    render_frame,
+    replay_frames,
+    sweep_series,
+)
+
+
+def _sweep_payload(topic_key: str = "job-1"):
+    topic = names.sweep_topic(topic_key)
+    init = {
+        "schema": 1,
+        "experiment": "E7",
+        "points": {},
+        "counts": {"done": 0, "cached": 0, "total": 3},
+        "status": "running",
+    }
+    return topic, init
+
+
+class TestModel:
+    def test_subscribe_then_poll_accumulates(self):
+        topic, init = _sweep_payload()
+        model = DashboardModel()
+        model.apply_subscribe({topic: {"init": init, "seq": 1}})
+        assert model.cursors == {topic: 1}
+        model.apply_poll(
+            {
+                topic: {
+                    "mods": [
+                        {
+                            "seq": 2,
+                            "mod": {
+                                "op": "set",
+                                "key": "points.0",
+                                "value": {"metrics": {"visibility_mean": 0.8}},
+                            },
+                        },
+                        {
+                            "seq": 3,
+                            "mod": {
+                                "op": "update",
+                                "key": "counts",
+                                "value": {"done": 1},
+                            },
+                        },
+                    ],
+                    "seq": 3,
+                }
+            }
+        )
+        assert model.cursors == {topic: 3}
+        assert model.topics[topic]["counts"]["done"] == 1
+        assert model.topics[topic]["points"]["0"]["metrics"] == {
+            "visibility_mean": 0.8
+        }
+        assert topic not in model.gapped
+
+    def test_gap_reply_replaces_snapshot_and_badges(self):
+        topic, init = _sweep_payload()
+        model = DashboardModel()
+        model.apply_subscribe({topic: {"init": init, "seq": 1}})
+        fresh = dict(init, status="done", counts={"done": 3, "total": 3})
+        model.apply_poll(
+            {topic: {"mods": [], "seq": 9, "init": fresh, "gap": True}}
+        )
+        assert model.topics[topic]["status"] == "done"
+        assert model.cursors[topic] == 9
+        assert topic in model.gapped
+
+    def test_metrics_deltas_tracked_across_updates(self):
+        model = DashboardModel()
+        model.apply_subscribe(
+            {
+                names.TOPIC_METRICS: {
+                    "init": {"counters": {"engine.runs": 10}},
+                    "seq": 1,
+                }
+            }
+        )
+        model.apply_poll(
+            {
+                names.TOPIC_METRICS: {
+                    "mods": [
+                        {
+                            "seq": 2,
+                            "mod": {
+                                "op": "update",
+                                "key": "counters",
+                                "value": {"engine.runs": 14},
+                            },
+                        }
+                    ],
+                    "seq": 2,
+                }
+            }
+        )
+        assert model.deltas["engine.runs"] == 4.0
+
+
+class TestSweepSeries:
+    def test_points_ordered_by_integer_index(self):
+        snapshot = {
+            "points": {
+                "10": {"metrics": {"visibility_mean": 0.3}},
+                "2": {"metrics": {"visibility_mean": 0.2}},
+                "0": {"metrics": {"visibility_mean": 0.1}},
+            }
+        }
+        series = dict(sweep_series(snapshot))
+        assert series["visibility_mean"] == [0.1, 0.2, 0.3]
+
+    def test_preferred_metrics_rank_first_and_cap_applies(self):
+        metrics = {"zz": 1.0, "aa": 2.0, "visibility_mean": 0.9, "car": 7.0}
+        snapshot = {"points": {"0": {"metrics": metrics}}}
+        keys = [key for key, _ in sweep_series(snapshot, limit=3)]
+        assert keys == ["visibility_mean", "car", "aa"]
+
+    def test_empty_snapshot_has_no_series(self):
+        assert sweep_series({}) == []
+        assert sweep_series({"points": {}}) == []
+
+
+class TestRenderFrame:
+    def test_panels_render_deterministically(self):
+        topic, init = _sweep_payload()
+        model = DashboardModel()
+        model.apply_subscribe(
+            {
+                topic: {"init": init, "seq": 1},
+                names.TOPIC_QUEUE: {
+                    "init": {
+                        "workers": 2,
+                        "counts": {"running": 1, "pending": 2},
+                        "jobs": {
+                            "1": {
+                                "job_id": 1,
+                                "kind": "sweep",
+                                "experiment_id": "E7",
+                                "status": "running",
+                                "done_points": 1,
+                                "total_points": 3,
+                            }
+                        },
+                    },
+                    "seq": 1,
+                },
+                names.TOPIC_METRICS: {
+                    "init": {"counters": {"engine.runs": 3}},
+                    "seq": 1,
+                },
+            }
+        )
+        frame = render_frame(model)
+        assert frame == render_frame(model)  # deterministic
+        assert "repro dashboard (live)" in frame
+        assert "┌ queue" in frame
+        assert "workers 1/2 busy" in frame
+        assert "job 1 sweep E7 running 1/3" in frame
+        assert "┌ sweep job-1 — E7" in frame
+        assert "┌ metrics" in frame
+        assert "engine.runs" in frame
+
+    def test_gap_badge_on_lossy_topic(self):
+        topic, init = _sweep_payload()
+        model = DashboardModel()
+        model.apply_subscribe({topic: {"init": init, "seq": 1}})
+        model.gapped.add(topic)
+        assert "[gap: resynced from snapshot]" in render_frame(model)
+
+
+class TestReplay:
+    def _journaled_sweep(self, tmp_path):
+        obs.configure(enabled=True, root=tmp_path)
+        from repro.runtime.engine import RunEngine
+        from repro.runtime.scan import ListScan
+
+        engine = RunEngine(root=tmp_path)
+        return engine.sweep(
+            "E7",
+            ListScan("pump_phase_rad", [0.0, 0.6, 1.2]),
+            quick=True,
+            seed=5,
+        )
+
+    def test_replay_reconstructs_finished_sweep(self, tmp_path):
+        self._journaled_sweep(tmp_path)
+        frames = list(replay_frames(tmp_path))
+        assert len(frames) >= 4  # one per point + the final status frame
+        model, last = frames[-1]
+        assert model.source == "replay"
+        assert "repro dashboard (replay)" in last
+        topic = model.sweep_topics()[0]
+        snapshot = model.topics[topic]
+        assert snapshot["status"] == "done"
+        assert snapshot["counts"]["done"] == 3
+        assert sorted(snapshot["points"]) == ["0", "1", "2"]
+
+    def test_replay_without_journal_is_empty_but_yields(self, tmp_path):
+        frames = list(replay_frames(tmp_path))
+        assert len(frames) == 1  # the final frame of an empty model
+        assert "repro dashboard (replay)" in frames[0][1]
+
+
+class TestCli:
+    def test_dashboard_replay_once(self, tmp_path, capsys):
+        TestReplay()._journaled_sweep(tmp_path)
+        from repro.cli import main
+
+        assert main(
+            ["dashboard", "--replay", "--once", "--archive-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "repro dashboard (replay)" in out
+        assert "visibility_mean" in out
+
+    def test_dashboard_replay_empty_root_fails_with_hint(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        assert main(
+            ["dashboard", "--replay", "--once", "--archive-dir", str(tmp_path)]
+        ) == 1
+        assert "REPRO_OBS=1" in capsys.readouterr().err

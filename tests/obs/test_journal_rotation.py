@@ -1,0 +1,82 @@
+"""Obs-journal rotation under two concurrent writer processes.
+
+The journal's crash-safety contract (fsynced appends, torn-tail
+tolerant reads, best-effort rotation) must hold when two daemons share
+one engine root — the multi-root service tests' scenario, here pushed
+through rotation: each writer's ``max_lines`` is tiny, so both processes
+rotate repeatedly while racing each other's appends and renames.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+from repro.obs.journal import ROTATED_FILE, obs_dir, read_events
+
+WRITER = """
+import sys
+from repro.obs.clock import Clock
+from repro.obs.journal import EventJournal
+from repro.obs import names
+
+root, label = sys.argv[1], sys.argv[2]
+journal = EventJournal(root, max_lines=25)
+for index in range(200):
+    journal.emit(
+        names.EVENT_RUN_FINISHED,
+        {"writer": label, "index": index},
+    )
+print(journal.seq)
+"""
+
+
+class TestConcurrentRotation:
+    def test_two_writers_rotate_without_corruption(self, tmp_path):
+        writers = [
+            subprocess.Popen(
+                [sys.executable, "-c", WRITER, str(tmp_path), label],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for label in ("a", "b")
+        ]
+        for process in writers:
+            out, err = process.communicate(timeout=120)
+            assert process.returncode == 0, err
+
+        assert (obs_dir(tmp_path) / ROTATED_FILE).exists(), (
+            "25-line writers emitting 200 events each must have rotated"
+        )
+        entries = read_events(tmp_path)
+        # Rotation discards generations by design, but whatever survived
+        # must be fully parseable and internally consistent.
+        assert entries, "the surviving journal must not be empty"
+        for entry in entries:
+            assert entry["kind"] == "event"
+            assert entry["attrs"]["writer"] in ("a", "b")
+            assert isinstance(entry["seq"], int)
+        # Per-writer event order survives the interleaving: each
+        # writer's index sequence is strictly increasing.
+        for label in ("a", "b"):
+            indexes = [
+                entry["attrs"]["index"]
+                for entry in entries
+                if entry["attrs"]["writer"] == label
+            ]
+            assert indexes == sorted(indexes)
+
+    def test_single_writer_rotation_preserves_tail(self, tmp_path):
+        from repro.obs import names
+        from repro.obs.journal import EventJournal
+
+        journal = EventJournal(tmp_path, max_lines=10)
+        for index in range(35):
+            journal.emit(names.EVENT_RUN_FINISHED, {"index": index})
+        assert (obs_dir(tmp_path) / ROTATED_FILE).exists()
+        entries = read_events(tmp_path)
+        # The newest two generations survive: seqs are contiguous to 35.
+        seqs = [entry["seq"] for entry in entries]
+        assert seqs == list(range(seqs[0], 36))
+        assert seqs[-1] == journal.seq

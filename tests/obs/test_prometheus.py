@@ -1,0 +1,103 @@
+"""Prometheus exposition: golden output, CLI --prom, daemon GET /metrics."""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from repro import obs
+from repro.cli import main
+from repro.obs import names
+from repro.obs.render import render_prometheus
+
+GOLDEN = pathlib.Path(__file__).parent / "golden_prometheus.txt"
+
+
+def seeded_registry() -> dict[str, object]:
+    """A deterministic registry snapshot exercising every family shape."""
+    obs.configure(enabled=True)
+    obs.count(names.METRIC_CACHE_HIT, 3)
+    obs.count(names.METRIC_CACHE_MISS)
+    obs.count(names.METRIC_RPC_REQUESTS, method="submit", ok=True)
+    obs.count(names.METRIC_RPC_REQUESTS, 2, method="status", ok=True)
+    obs.gauge(names.METRIC_QUEUE_DEPTH, 4)
+    # 120.0 lands past the largest bucket: only +Inf may count it.
+    for value in (0.002, 0.004, 0.02, 0.2, 120.0):
+        obs.observe(
+            names.METRIC_RPC_REQUEST_SECONDS, value, method="submit"
+        )
+    return obs.snapshot()
+
+
+class TestGoldenExposition:
+    def test_matches_committed_golden_file(self):
+        text = render_prometheus(seeded_registry())
+        assert text == GOLDEN.read_text(encoding="utf-8")
+
+    def test_buckets_are_cumulative_with_inf_equal_to_count(self):
+        lines = render_prometheus(seeded_registry()).splitlines()
+        buckets = [
+            line for line in lines if "rpc_request_seconds_bucket" in line
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert buckets[-1].startswith(
+            'repro_rpc_request_seconds_bucket{method="submit",le="+Inf"}'
+        )
+        assert counts[-1] == 5  # the overflow observation is in +Inf only
+        assert 'repro_rpc_request_seconds_count{method="submit"} 5' in lines
+
+    def test_counter_names_get_total_suffix_and_prefix(self):
+        text = render_prometheus(seeded_registry())
+        assert "repro_cache_hit_total 3" in text
+        assert "# TYPE repro_cache_hit_total counter" in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        obs.configure(enabled=True)
+        assert render_prometheus(obs.snapshot()) == ""
+
+    def test_label_values_escaped(self):
+        obs.configure(enabled=True)
+        obs.count(names.METRIC_RPC_REQUESTS, method='we"ird\\x')
+        text = render_prometheus(obs.snapshot())
+        assert 'method="we\\"ird\\\\x"' in text
+
+
+class TestPromSurfaces:
+    """The CLI flag and the daemon endpoint share the one formatter."""
+
+    def _service(self):
+        from repro.service.api import ExperimentService
+
+        root = pathlib.Path(os.environ["REPRO_RUNTIME_ROOT"])
+        return ExperimentService(
+            root=root, port=0, workers=1, use_processes=False
+        )
+
+    def test_cli_prom_and_get_metrics_agree(self, capsys):
+        from repro.service.client import ServiceClient
+
+        service = self._service()
+        host, port = service.start()
+        try:
+            client = ServiceClient(f"http://{host}:{port}")
+            job = client.submit("E6", quick=True, params={"pump_mw": 6.0})
+            client.wait(job["job_id"], timeout=60.0)
+            assert main(["metrics", "--prom"]) == 0
+            cli_text = capsys.readouterr().out
+            http_text = client.metrics_text()
+        finally:
+            service.stop()
+        assert "# TYPE repro_rpc_requests_total counter" in cli_text
+        assert "repro_jobs_finished_total{status=\"done\"} 1" in cli_text
+        # The snapshots are seconds apart (rpc counters tick between the
+        # two reads), but the families and formatter are identical.
+        assert "# TYPE repro_rpc_requests_total counter" in http_text
+        assert http_text.endswith("\n")
+
+    def test_cli_prom_without_daemon_fails_with_hint(self, capsys):
+        assert main(["metrics", "--prom"]) == 1
+        err = capsys.readouterr().err
+        assert "--prom" in err and "repro serve" in err

@@ -97,8 +97,16 @@ class TestEntanglementInvariants:
     @SETTINGS
     @given(density_matrices((2, 2), rank=2))
     def test_ppt_iff_separable_for_two_qubits(self, state):
-        # For 2x2 systems PPT <=> separable <=> zero concurrence.
-        assert is_ppt(state) == (concurrence(state) < 1e-7)
+        # For 2x2 systems PPT <=> separable <=> zero concurrence.  Both
+        # certifiers carry ~1e-6 numerical noise at the boundary (the
+        # concurrence square-roots near-zero eigenvalues), so each
+        # direction is asserted with a margin rather than judging
+        # states inside the noise band.
+        c = concurrence(state)
+        if c > 1e-5:  # clearly entangled: the partial transpose is NPT
+            assert not is_ppt(state)
+        if negativity(state) > 1e-5:  # clearly NPT: concurrence nonzero
+            assert c > 1e-7
 
     @SETTINGS
     @given(density_matrices((2, 2), rank=2))

@@ -1,0 +1,297 @@
+"""Live dataset streaming: publishers, the daemon RPCs, the acceptance bar.
+
+The PR's acceptance criteria live here: two concurrent subscribers to a
+live E7 sweep each receive the ``init`` snapshot plus every per-point
+``mod`` in order (no gap) and reconstruct a final dataset byte-identical
+to the daemon's, while a third subscriber stalled past the replay buffer
+is resynchronised with ``gap: true`` and a fresh snapshot.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import names
+from repro.obs.bus import apply_mod
+from repro.service import datasets
+from repro.service.api import ExperimentService
+from repro.service.client import ServiceClient
+
+SCAN = {
+    "ty": "ListScan",
+    "name": "pump_phase_rad",
+    "values": [0.0, 0.4, 0.8, 1.2],
+}
+
+
+@pytest.fixture(autouse=True)
+def _pristine_obs(monkeypatch):
+    """The service auto-enables telemetry; keep it from leaking."""
+    monkeypatch.delenv(obs.OBS_ENV_VAR, raising=False)
+    obs.reset()
+    yield
+    obs.reset()
+
+
+class TestSweepPublisher:
+    def test_disabled_obs_yields_no_publisher(self):
+        assert (
+            datasets.SweepPublisher.for_local("E7", SCAN, 0, True, {}, 4)
+            is None
+        )
+
+    def test_init_points_and_finish_flow(self):
+        obs.configure(enabled=True)
+        publisher = datasets.SweepPublisher.for_local(
+            "E7", SCAN, seed=3, quick=True, params={}, total=2
+        )
+        publisher.point(
+            0, {"pump_phase_rad": 0.0}, {"visibility_mean": 0.8},
+            run_id="r0", cached=False,
+        )
+        publisher.point(
+            1, {"pump_phase_rad": 0.4}, {"visibility_mean": 0.9},
+            run_id="r1", cached=True,
+        )
+        publisher.finish("done", metrics={"visibility_mean": 0.9})
+        snapshot = obs.state().bus.subscribe([publisher.topic])[
+            publisher.topic
+        ]["init"]
+        assert snapshot["status"] == "done"
+        assert snapshot["counts"] == {"done": 2, "cached": 1, "total": 2}
+        assert snapshot["points"]["1"]["cached"] is True
+        assert snapshot["points"]["0"]["metrics"] == {
+            "visibility_mean": 0.8
+        }
+        assert snapshot["experiment"] == "E7"
+        assert snapshot["job_id"] is None
+
+    def test_engine_sweep_publishes_per_point(self, tmp_path):
+        obs.configure(enabled=True)
+        from repro.runtime.engine import RunEngine
+        from repro.runtime.scan import ListScan
+
+        engine = RunEngine(root=tmp_path)
+        engine.sweep(
+            "E7", ListScan("pump_phase_rad", [0.0, 0.6]), quick=True, seed=2
+        )
+        bus = obs.state().bus
+        topics = [t for t in bus.topics() if t.startswith("datasets.sweep.")]
+        assert len(topics) == 1
+        snapshot = bus.subscribe(topics)[topics[0]]["init"]
+        assert snapshot["status"] == "done"
+        assert sorted(snapshot["points"]) == ["0", "1"]
+        assert all(
+            "visibility_mean" in p["metrics"]
+            for p in snapshot["points"].values()
+        )
+
+
+class TestMetricsPublisher:
+    def test_disabled_publishes_nothing(self):
+        assert datasets.MetricsPublisher().publish_once() == 0
+
+    def test_init_then_diffed_updates(self):
+        obs.configure(enabled=True)
+        obs.count(names.METRIC_ENGINE_RUNS, 2)
+        publisher = datasets.MetricsPublisher()
+        assert publisher.publish_once() == 1  # the init snapshot
+        assert publisher.publish_once() == 0  # nothing changed
+        obs.count(names.METRIC_ENGINE_RUNS, 3)
+        obs.gauge(names.METRIC_QUEUE_DEPTH, 7)
+        assert publisher.publish_once() == 2  # counters + gauges sections
+        snapshot = obs.state().bus.subscribe([names.TOPIC_METRICS])[
+            names.TOPIC_METRICS
+        ]["init"]
+        assert snapshot["counters"]["engine.runs"] == 5
+        assert snapshot["gauges"]["queue.depth"] == 7
+
+
+class TestQueuePublishing:
+    def test_store_transitions_reach_the_queue_topic(self, tmp_path):
+        obs.configure(enabled=True)
+        from repro.service.store import JobStore
+
+        store = JobStore(tmp_path)
+        datasets.publish_queue_init(store.snapshot(), workers=2)
+        job, _ = store.submit("E6", quick=True, params={"pump_mw": 2.0})
+        snapshot = obs.state().bus.subscribe([names.TOPIC_QUEUE])[
+            names.TOPIC_QUEUE
+        ]["init"]
+        assert snapshot["workers"] == 2
+        summary = snapshot["jobs"][str(job.job_id)]
+        assert summary["status"] == "pending"
+        assert snapshot["counts"] == {"pending": 1}
+
+
+class _Subscriber(threading.Thread):
+    """One concurrent poller reconstructing a sweep topic client-side."""
+
+    def __init__(self, url: str, topic: str, done: threading.Event):
+        super().__init__(daemon=True)
+        self.client = ServiceClient(url)
+        self.topic = topic
+        self.done = done
+        self.snapshot: dict[str, object] = {}
+        self.seen_seqs: list[int] = []
+        self.inits = 0
+        self.gaps = 0
+        self.error: BaseException | None = None
+
+    def run(self):
+        try:
+            cursor = self.client.subscribe([self.topic])[self.topic]["seq"]
+            while True:
+                reply = self.client.poll_datasets(
+                    {self.topic: cursor}, timeout=5.0
+                ).get(self.topic, {})
+                if reply.get("gap"):
+                    self.gaps += 1
+                if isinstance(reply.get("init"), dict):
+                    self.inits += 1
+                    self.snapshot = reply["init"]
+                for mod in reply.get("mods", []):
+                    self.seen_seqs.append(mod["seq"])
+                    apply_mod(self.snapshot, mod["mod"])
+                cursor = reply.get("seq", cursor)
+                if self.snapshot.get("status") in ("done", "failed"):
+                    self.done.set()
+                    return
+        except BaseException as error:  # surfaced by the main thread
+            self.error = error
+            self.done.set()
+
+
+class TestLiveSweepAcceptance:
+    @pytest.fixture
+    def service(self, tmp_path):
+        svc = ExperimentService(
+            root=tmp_path / "engine-root", port=0, workers=1,
+            use_processes=False,
+        )
+        svc.start()
+        yield svc
+        svc.stop()
+
+    def test_two_subscribers_stream_ordered_diffs(self, service):
+        client = ServiceClient.discover(service.root)
+        url = client.url
+        # Jobs number from 1 per store, so the first sweep's topic is
+        # known before submission — subscribe first, then submit.
+        topic = names.sweep_topic(datasets.job_key(1))
+        flags = [threading.Event(), threading.Event()]
+        watchers = [_Subscriber(url, topic, flag) for flag in flags]
+        for watcher in watchers:
+            watcher.start()
+        job = client.submit("E7", quick=True, scan=SCAN, seed=7)
+        assert job["job_id"] == 1
+        client.wait(job["job_id"], timeout=120.0)
+        for watcher in watchers:
+            assert watcher.done.wait(timeout=30.0)
+            watcher.join(timeout=5.0)
+            if watcher.error is not None:
+                raise watcher.error
+
+        live = client.subscribe([topic])[topic]["init"]
+        for watcher in watchers:
+            assert watcher.gaps == 0
+            # Exactly one snapshot delivery (the topic's birth resync),
+            # then strictly consecutive per-point mods.
+            assert watcher.inits == 1
+            assert watcher.seen_seqs == sorted(watcher.seen_seqs)
+            assert all(
+                b - a == 1
+                for a, b in zip(watcher.seen_seqs, watcher.seen_seqs[1:])
+            )
+            # Byte-identical reconstruction of the daemon's final state.
+            assert json.dumps(watcher.snapshot, sort_keys=True) == (
+                json.dumps(live, sort_keys=True)
+            )
+        assert live["status"] == "done"
+        assert live["counts"]["done"] == 4
+        assert sorted(live["points"]) == ["0", "1", "2", "3"]
+
+        # The streamed per-point metrics match the archived runs.
+        from repro.analysis.index import ArchiveIndex
+
+        index = ArchiveIndex(service.root)
+        for point in live["points"].values():
+            entry = index.get(point["run_id"])
+            assert entry is not None
+            assert entry["metrics"] == point["metrics"]
+
+    def test_stalled_subscriber_resyncs_with_gap(self, service):
+        client = ServiceClient.discover(service.root)
+        topic = names.sweep_topic(datasets.job_key(1))
+        stale = client.subscribe([topic])[topic]["seq"]  # 0: pre-birth
+        job = client.submit("E7", quick=True, scan=SCAN, seed=9)
+        client.wait(job["job_id"], timeout=120.0)
+        # Starve the replay buffer below the published history and drop
+        # the journal fallback, making the stale cursor irrecoverable.
+        bus = obs.state().bus
+        record = bus._topics[topic]
+        record.mods = collections.deque(list(record.mods)[-1:], maxlen=1)
+        for path in (service.root / "obs").glob("events*.jsonl"):
+            path.unlink()
+        reply = client.poll_datasets({topic: stale + 1}, timeout=5.0)[topic]
+        assert reply["gap"] is True
+        assert reply["mods"] == []
+        assert reply["init"]["status"] == "done"
+        assert reply["seq"] == record.seq
+        # The resynced cursor polls clean from here on.
+        follow = client.poll_datasets({topic: reply["seq"]}, timeout=0.2)
+        assert follow[topic] == {"mods": [], "seq": reply["seq"]}
+
+    def test_queue_and_metrics_topics_live_on_daemon(self, service):
+        client = ServiceClient.discover(service.root)
+        job = client.submit("E6", quick=True, params={"pump_mw": 3.0})
+        client.wait(job["job_id"], timeout=60.0)
+        topics = client.subscribe()
+        queue = topics[names.TOPIC_QUEUE]["init"]
+        assert queue["workers"] == 1
+        assert queue["jobs"][str(job["job_id"])]["status"] == "done"
+        # A metrics subscription is valid even before the publisher's
+        # first rate-limited broadcast: empty snapshot at seq 0.
+        entry = client.subscribe([names.TOPIC_METRICS])[names.TOPIC_METRICS]
+        assert entry["seq"] >= 0
+        reply = client.poll_datasets({names.TOPIC_QUEUE: 0}, timeout=0.5)
+        assert names.TOPIC_QUEUE in reply
+
+
+class TestEventFeedPartialCompaction:
+    """A journal that lost only its *early* span still flags the gap."""
+
+    def test_partial_journal_loss_gaps_then_delivers_tail(self, tmp_path):
+        service = ExperimentService(
+            root=tmp_path / "engine-root", port=0, workers=1,
+            use_processes=False,
+        )
+        service.start()
+        try:
+            client = ServiceClient.discover(service.root)
+            job = client.submit("E6", quick=True, params={"pump_mw": 2.0})
+            client.wait(job["job_id"], timeout=60.0)
+            store = service.store
+            with store._lock:
+                # Compaction dropped everything before the final event:
+                # buffer empty, journal keeps only the newest line.
+                tail = store._events[-1]
+                store._events.clear()
+                store.journal_path.write_text(
+                    json.dumps(tail, sort_keys=True) + "\n",
+                    encoding="utf-8",
+                )
+            events, latest, gap = client.events(0, timeout=2.0)
+            assert gap is True
+            assert [e["seq"] for e in events] == [tail["seq"]]
+            assert latest == tail["seq"]
+            # The jumped cursor does not re-report the gap.
+            events, latest, gap = client.events(latest, timeout=0.2)
+            assert events == [] and not gap
+        finally:
+            service.stop()
