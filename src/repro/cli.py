@@ -24,6 +24,8 @@ Analysis subcommands (the archive as a query surface)::
 Experiment-service subcommands (the always-on daemon)::
 
     python -m repro serve --workers 4     # boot the scheduler + JSON-RPC API
+    python -m repro runner --master URL   # lease + execute jobs remotely
+    python -m repro fleet [--json]        # runner fleet status (leases)
     python -m repro submit E5 --quick --set pump_mw=2 --priority 5 --wait
     python -m repro submit E6 --quick --scan pump_mw=2:20:10
     python -m repro status [JOB_ID]       # queue table / one job (+traceback)
@@ -339,7 +341,10 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         metavar="N",
-        help="scheduler worker threads / pool processes (default 2)",
+        help=(
+            "scheduler worker threads / pool processes (default 2; "
+            "0 = broker-only master, fleet runners do all compute)"
+        ),
     )
     serve_parser.add_argument(
         "--in-process",
@@ -347,10 +352,90 @@ def build_parser() -> argparse.ArgumentParser:
         help="compute cache misses on worker threads instead of a process pool",
     )
     serve_parser.add_argument(
+        "--dispatch",
+        choices=("auto", "local", "remote"),
+        default="auto",
+        help=(
+            "where run/sweep jobs execute: local pool, remote fleet "
+            "runners, or auto (local until runners register; default)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="runner lease TTL: missed heartbeats for this long requeue "
+        "the runner's jobs (default 10)",
+    )
+    serve_parser.add_argument(
+        "--max-polls",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on concurrently parked long-poll requests (default 32)",
+    )
+    serve_parser.add_argument(
         "--archive-dir",
         default=None,
         help="engine root directory (default $REPRO_RUNTIME_ROOT or ./repro-runs)",
     )
+
+    runner_parser = subparsers.add_parser(
+        "runner",
+        help="run a fleet runner: lease jobs from a master and execute them",
+    )
+    runner_parser.add_argument(
+        "--master",
+        default=None,
+        metavar="URL",
+        help=(
+            "master base URL (http://host:port); default: discover a "
+            "local 'repro serve' through the engine root"
+        ),
+    )
+    runner_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="concurrent jobs on this runner (default 1)",
+    )
+    runner_parser.add_argument(
+        "--in-process",
+        action="store_true",
+        help="compute in the runner process instead of a worker pool",
+    )
+    runner_parser.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after executing N jobs (default: run until stopped)",
+    )
+    runner_parser.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit after this long with nothing claimable (default: never)",
+    )
+    runner_parser.add_argument(
+        "--archive-dir",
+        default=None,
+        help="engine root used for --master discovery only (runners "
+        "keep no state of their own)",
+    )
+
+    fleet_parser = subparsers.add_parser(
+        "fleet", help="show the master's runner fleet (runners + leases)"
+    )
+    fleet_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw fleet.status document",
+    )
+    _add_service_options(fleet_parser)
 
     submit_parser = subparsers.add_parser(
         "submit", help="enqueue an experiment run or sweep on the service"
@@ -1070,19 +1155,26 @@ def command_serve(args: argparse.Namespace) -> int:
     """Boot the experiment service and block until interrupted."""
     from repro.service.api import ExperimentService
 
+    extra: dict[str, object] = {}
+    if args.lease_ttl is not None:
+        extra["lease_ttl_s"] = args.lease_ttl
+    if args.max_polls is not None:
+        extra["max_polls"] = args.max_polls
     service = ExperimentService(
         root=args.archive_dir,
         host=args.host,
         port=args.port,
-        workers=max(1, args.workers),
+        workers=max(0, args.workers),
         use_processes=not args.in_process,
+        dispatch=args.dispatch,
         on_event=lambda message: print(message, file=sys.stderr),
+        **extra,
     )
     host, port = service.start()
     print(
         f"experiment service on http://{host}:{port} "
-        f"(root {service.root}, {service.scheduler.workers} workers); "
-        "Ctrl-C to stop",
+        f"(root {service.root}, {service.scheduler.workers} workers, "
+        f"dispatch {service.scheduler.dispatch}); Ctrl-C to stop",
         file=sys.stderr,
     )
     service.serve_forever()
@@ -1095,6 +1187,98 @@ def command_serve(args: argparse.Namespace) -> int:
     import os
 
     os._exit(0)
+
+
+def command_runner(args: argparse.Namespace) -> int:
+    """Run a fleet runner against a master until stopped (or drained)."""
+    from repro.fleet.runner import FleetRunner
+
+    if args.master:
+        master_url = args.master
+    else:
+        from repro.service.api import read_service_file
+
+        document = read_service_file(args.archive_dir)
+        master_url = f"http://{document['host']}:{document['port']}"
+    runner = FleetRunner(
+        master_url,
+        workers=max(1, args.workers),
+        use_processes=not args.in_process,
+        on_event=lambda message: print(message, file=sys.stderr),
+    )
+    runner.register()
+    print(
+        f"runner {runner.runner_id} on {master_url} "
+        f"({runner.workers} worker(s)); Ctrl-C to stop",
+        file=sys.stderr,
+    )
+    try:
+        done = runner.run(
+            max_jobs=args.max_jobs, idle_exit_s=args.idle_exit
+        )
+    except KeyboardInterrupt:
+        runner.stop()
+        return 0
+    print(f"runner {runner.runner_id}: {done} job(s) executed", file=sys.stderr)
+    return 0
+
+
+def command_fleet(args: argparse.Namespace) -> int:
+    """Show the master's runner fleet (``repro fleet``)."""
+    import json
+
+    client = _service_client(args)
+    status = client.fleet_status()
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    counts = status.get("counts", {})
+    print(
+        f"fleet: {counts.get('alive', 0)} runner(s) alive, "
+        f"{counts.get('lost', 0)} lost, {counts.get('leases', 0)} "
+        f"lease(s) out (ttl {status.get('lease_ttl_s', '?')}s, "
+        f"{status.get('expired_total', 0)} expired total)"
+    )
+    runners = status.get("runners", [])
+    if runners:
+        from repro.utils.tables import format_table
+
+        rows = [
+            [
+                doc.get("runner_id", "?"),
+                doc.get("status", "?"),
+                doc.get("host", "?"),
+                doc.get("pid", "?"),
+                doc.get("workers", 1),
+                doc.get("completed", 0),
+                doc.get("failed", 0),
+                _seconds(doc.get("age_s")),
+            ]
+            for doc in runners
+        ]
+        print(
+            format_table(
+                [
+                    "runner",
+                    "state",
+                    "host",
+                    "pid",
+                    "workers",
+                    "done",
+                    "failed",
+                    "last beat",
+                ],
+                rows,
+                title="Runners",
+            )
+        )
+    for lease in status.get("leases", []):
+        print(
+            f"lease: job {lease.get('job_id', '?')} "
+            f"({lease.get('kind', '?')} {lease.get('experiment_id', '?')}) "
+            f"→ {lease.get('runner_id', '?')}"
+        )
+    return 0
 
 
 def command_submit(args: argparse.Namespace) -> int:
@@ -1148,6 +1332,7 @@ def command_status(args: argparse.Namespace) -> int:
                 job["status"],
                 f"{job.get('done_points', 0)}/{job.get('total_points', 1)}",
                 job.get("cached_points", 0),
+                job.get("runner_id") or "-",
                 _seconds(job.get("wait_s")),
                 _seconds(job.get("run_s")),
             ]
@@ -1164,6 +1349,7 @@ def command_status(args: argparse.Namespace) -> int:
                     "status",
                     "points",
                     "cached",
+                    "runner",
                     "wait",
                     "run",
                 ],
@@ -1555,6 +1741,11 @@ def _render_job(job: dict) -> str:
             timing.append(f"{label}: {_seconds(job[key])}")
     if timing:
         lines.append("  " + "  ".join(timing))
+    if job.get("runner_id"):
+        lines.append(
+            f"  runner: {job['runner_id']} on "
+            f"{job.get('runner_host', '?')} pid {job.get('runner_pid', '?')}"
+        )
     if job.get("run_ids"):
         lines.append(f"  runs: {' '.join(job['run_ids'])}")
     if job.get("metrics"):
@@ -1641,6 +1832,8 @@ _COMMANDS = {
     "query": command_query,
     "analyze": command_analyze,
     "serve": command_serve,
+    "runner": command_runner,
+    "fleet": command_fleet,
     "submit": command_submit,
     "status": command_status,
     "watch": command_watch,

@@ -14,6 +14,7 @@ from repro.devtools.check.rules.atomic_io import AtomicIoRule
 from repro.devtools.check.rules.bus_topics import BusTopicsRule
 from repro.devtools.check.rules.cache_schema import CacheSchemaRule
 from repro.devtools.check.rules.exceptions import ExceptionHygieneRule
+from repro.devtools.check.rules.fleet_io import FleetIoRule
 from repro.devtools.check.rules.lazy_imports import LazyImportRule
 from repro.devtools.check.rules.locks import LockDisciplineRule
 from repro.devtools.check.rules.obs_names import ObsNamesRule
@@ -24,6 +25,7 @@ __all__ = [
     "BusTopicsRule",
     "CacheSchemaRule",
     "ExceptionHygieneRule",
+    "FleetIoRule",
     "LazyImportRule",
     "LockDisciplineRule",
     "ObsNamesRule",
@@ -41,6 +43,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     CacheSchemaRule,
     ObsNamesRule,
     BusTopicsRule,
+    FleetIoRule,
 )
 
 

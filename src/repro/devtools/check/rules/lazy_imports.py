@@ -79,6 +79,10 @@ LIGHT_MODULES = frozenset(
         "repro.runtime.engine",
         "repro.runtime.records",
         "repro.runtime.scan",
+        "repro.fleet",
+        "repro.fleet.client",
+        "repro.fleet.coordinator",
+        "repro.fleet.protocol",
         "repro.service",
         "repro.service.api",
         "repro.service.client",

@@ -1,0 +1,31 @@
+"""Distributed fleet: the master/runner split of the experiment service.
+
+The service daemon (:mod:`repro.service`) owns the queue, the result
+cache, the run archive and the event bus.  This package adds *runners*:
+worker processes — possibly on other hosts, with **no shared
+filesystem** — that lease jobs from the master over JSON-RPC, execute
+them through the ordinary :class:`repro.runtime.engine.RunEngine`
+compute path, and ship the resulting records back for the master to
+archive.  The ARTIQ-style master/client split of the ROADMAP's
+"Distributed execution" item.
+
+Layout (modules import nothing from each other's heavy halves):
+
+``protocol``
+    Wire-level constants and payload helpers shared by both sides.
+``coordinator``
+    Master-side runner registry, heartbeat-fenced leases and the
+    ingest path.  Imported by :mod:`repro.service.api`; numpy-free at
+    import time like the rest of the service layer.
+``client``
+    Runner-side RPC wrapper over :class:`repro.service.client.ServiceClient`.
+``runner``
+    The runner process loop behind ``repro runner`` (imports the
+    compute stack lazily, only on a cache miss).
+
+Division of labour — the invariant the FLT001 check rule enforces:
+runner-side code computes but never touches the archive, index or
+cache directories; all result IO flows through the master's ingest
+RPC, so the atomic-write and journal invariants of the storage layer
+hold no matter how many hosts execute.
+"""

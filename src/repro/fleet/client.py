@@ -1,0 +1,131 @@
+"""Runner-side RPC client: the fleet verbs over the service transport.
+
+A thin :class:`RunnerClient` subclass of
+:class:`repro.service.client.ServiceClient` adding the ``runner.*``
+and ``fleet.*`` methods.  This is the **only** channel runner code may
+move results through — FLT001 rejects direct archive/index/cache IO
+under ``repro/fleet/`` — so every wrapper here maps 1:1 onto a
+coordinator method on the master.
+
+Error mapping matters for fencing: a lease rejection arrives as a
+JSON-RPC invalid-params error, which the base client raises as
+:class:`~repro.errors.ConfigurationError`.  Runners treat that as
+"drop this job and move on" — the master has already re-dispatched it
+— while :class:`~repro.errors.ServiceError` means the master itself is
+unreachable and is worth retrying.
+"""
+
+from __future__ import annotations
+
+from repro.service.client import ServiceClient
+
+
+class RunnerClient(ServiceClient):
+    """JSON-RPC client a fleet runner keeps open to its master."""
+
+    def register(
+        self, host: str, pid: int, workers: int = 1
+    ) -> dict[str, object]:
+        """Join the fleet; returns the id + timing contract."""
+        return self.call(
+            "runner.register",
+            {"host": host, "pid": int(pid), "workers": int(workers)},
+        )
+
+    def heartbeat(self, runner_id: str) -> dict[str, object]:
+        """Prove liveness; the reply lists cancel-requested job ids."""
+        return self.call("runner.heartbeat", {"runner_id": runner_id})
+
+    def claim(
+        self, runner_id: str, max_jobs: int | None = None
+    ) -> dict[str, object]:
+        """Lease pending jobs; cache hits are served master-side."""
+        params: dict[str, object] = {"runner_id": runner_id}
+        if max_jobs is not None:
+            params["max_jobs"] = int(max_jobs)
+        return self.call("runner.claim", params)
+
+    def lookup(
+        self, runner_id: str, job_id: int, spec: dict[str, object]
+    ) -> dict[str, object]:
+        """Proxied cache lookup for one spec of a leased job."""
+        return self.call(
+            "runner.lookup",
+            {"runner_id": runner_id, "job_id": int(job_id), "spec": spec},
+        )
+
+    def ingest(
+        self,
+        runner_id: str,
+        job_id: int,
+        spec: dict[str, object],
+        record: dict[str, object] | None = None,
+        failure: dict[str, str] | None = None,
+        duration_s: float = 0.0,
+        spans: list[dict[str, object]] | None = None,
+    ) -> dict[str, object]:
+        """Ship one computed record (or failure) home for persistence."""
+        params: dict[str, object] = {
+            "runner_id": runner_id,
+            "job_id": int(job_id),
+            "spec": spec,
+            "duration_s": float(duration_s),
+        }
+        if record is not None:
+            params["record"] = record
+        if failure is not None:
+            params["failure"] = failure
+        if spans:
+            params["spans"] = spans
+        return self.call("runner.ingest", params)
+
+    def progress(
+        self,
+        runner_id: str,
+        job_id: int,
+        done_points: int,
+        total_points: int,
+        run_id: str | None = None,
+        cached: bool = False,
+        point: dict[str, object] | None = None,
+        metrics: dict[str, float] | None = None,
+    ) -> dict[str, object]:
+        """Stream one finished point; reply carries the cancel flag."""
+        params: dict[str, object] = {
+            "runner_id": runner_id,
+            "job_id": int(job_id),
+            "done_points": int(done_points),
+            "total_points": int(total_points),
+            "cached": bool(cached),
+        }
+        if run_id is not None:
+            params["run_id"] = run_id
+        if point is not None:
+            params["point"] = point
+        if metrics is not None:
+            params["metrics"] = metrics
+        return self.call("runner.progress", params)
+
+    def complete(
+        self,
+        runner_id: str,
+        job_id: int,
+        metrics: dict[str, float] | None = None,
+    ) -> dict[str, object]:
+        """Finish a leased job done (or cancelled, master's choice)."""
+        params: dict[str, object] = {
+            "runner_id": runner_id,
+            "job_id": int(job_id),
+        }
+        if metrics is not None:
+            params["metrics"] = metrics
+        return self.call("runner.complete", params)
+
+    def fail(
+        self, runner_id: str, job_id: int, error: dict[str, str]
+    ) -> dict[str, object]:
+        """Finish a leased job failed with the worker traceback."""
+        return self.call(
+            "runner.fail",
+            {"runner_id": runner_id, "job_id": int(job_id), "error": error},
+        )

@@ -1,0 +1,377 @@
+"""The fleet runner process: lease, compute, ship home, repeat.
+
+:class:`FleetRunner` is the body of ``repro runner --master URL``.  It
+holds **no engine root** — no queue, archive, cache or index — only an
+open RPC connection to its master.  The per-job protocol:
+
+1. ``runner.claim`` leases a batch (cache-hit run jobs were already
+   served master-side and never arrive here).
+2. For each spec the runner first asks ``runner.lookup`` — the proxied
+   cache consult that keeps it numpy-light until a genuine miss.
+3. Misses compute through the engine's ``_execute_safe`` (imported
+   lazily, in a worker subprocess when ``use_processes``), exactly the
+   code path of a local scheduler pool worker — which is why remote
+   records are bit-identical to local ones.
+4. ``runner.ingest`` ships the record (plus captured spans) home;
+   ``runner.progress``/``runner.complete``/``runner.fail`` drive the
+   job's lifecycle on the master.
+
+A heartbeat thread fences the lease; any lease rejection
+(``ConfigurationError`` from the client) means the master moved on —
+the runner drops the job silently and claims fresh work.
+
+``REPRO_RUNNER_STALL_S`` (float, seconds) injects a sleep between
+claim and compute — the fault-injection hook the SIGKILL recovery test
+uses to kill a runner deterministically *mid-job*.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.fleet.client import RunnerClient
+from repro.fleet.protocol import (
+    DEFAULT_CLAIM_BATCH,
+    heartbeat_interval,
+    spec_payload,
+    sweep_specs,
+)
+from repro.service.jobs import KIND_RUN, Job
+
+#: Fault-injection hook: seconds to stall between claim and compute.
+STALL_ENV_VAR = "REPRO_RUNNER_STALL_S"
+
+#: Idle wait between empty claims, seconds.
+IDLE_POLL_S = 0.2
+
+
+class FleetRunner:
+    """One runner process: N claim threads against one master.
+
+    Parameters
+    ----------
+    master_url:
+        The master's base URL (``http://host:port``).
+    workers:
+        Claim threads (= concurrently executing jobs on this runner).
+    use_processes:
+        Compute misses in a shared ``ProcessPoolExecutor`` so numpy
+        loads in pool children, not the runner process.  ``False``
+        computes in-thread (tests).
+    on_event:
+        Optional ``callable(message: str)`` for lifecycle log lines.
+    client:
+        Injectable :class:`RunnerClient` (tests).
+    """
+
+    def __init__(
+        self,
+        master_url: str,
+        workers: int = 1,
+        use_processes: bool = True,
+        on_event=None,
+        client: RunnerClient | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(
+                f"runner workers must be >= 1, got {workers}"
+            )
+        self.client = client or RunnerClient(master_url)
+        self.workers = int(workers)
+        self.use_processes = use_processes
+        self.on_event = on_event
+        self.host = socket.gethostname()
+        self.pid = os.getpid()
+        self.runner_id: str | None = None
+        self.heartbeat_s = heartbeat_interval(10.0)
+        self.claim_batch = DEFAULT_CLAIM_BATCH
+        self.jobs_done = 0
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._cancelled: set[int] = set()
+        self._pool = None
+        self._pool_lock = threading.Lock()
+        self._beat_thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def register(self) -> str:
+        """Join the master's fleet; returns the assigned runner id."""
+        reply = self.client.register(self.host, self.pid, self.workers)
+        self.runner_id = str(reply["runner_id"])
+        self.heartbeat_s = float(reply.get("heartbeat_s", self.heartbeat_s))
+        self.claim_batch = int(reply.get("claim_batch", self.claim_batch))
+        self._log(
+            f"registered as {self.runner_id} "
+            f"(heartbeat {self.heartbeat_s:.1f}s)"
+        )
+        return self.runner_id
+
+    def run(
+        self,
+        max_jobs: int | None = None,
+        idle_exit_s: float | None = None,
+    ) -> int:
+        """Execute jobs until stopped; returns how many were executed.
+
+        ``max_jobs`` bounds total executed jobs (tests); ``idle_exit_s``
+        exits after that long with nothing claimable (benchmark runner
+        processes drain and leave).  Both default to run-forever.
+        """
+        if self.runner_id is None:
+            self.register()
+        self._start_heartbeat()
+        threads = [
+            threading.Thread(
+                target=self._claim_loop,
+                args=(max_jobs, idle_exit_s),
+                name=f"repro-runner-{index}",
+                daemon=True,
+            )
+            for index in range(self.workers)
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            self.stop()
+        return self.jobs_done
+
+    def stop(self) -> None:
+        """Stop claiming and shut the compute pool down."""
+        self._stop.set()
+        if self._beat_thread is not None:
+            self._beat_thread.join(timeout=2.0)
+            self._beat_thread = None
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+                self._pool = None
+
+    # ------------------------------------------------------------------
+    # Loops
+    # ------------------------------------------------------------------
+    def _start_heartbeat(self) -> None:
+        if self._beat_thread is not None and self._beat_thread.is_alive():
+            return
+        self._beat_thread = threading.Thread(
+            target=self._heartbeat_loop,
+            name="repro-runner-heartbeat",
+            daemon=True,
+        )
+        self._beat_thread.start()
+
+    def _heartbeat_loop(self) -> None:
+        """Beat until stopped; collect cancel requests along the way."""
+        while not self._stop.wait(self.heartbeat_s):
+            try:
+                reply = self.client.heartbeat(str(self.runner_id))
+            except ConfigurationError:
+                # The master declared us lost; claims will re-register.
+                continue
+            except ServiceError:
+                continue  # master briefly unreachable; keep beating
+            cancelled = reply.get("cancelled") or []
+            if cancelled:
+                with self._lock:
+                    self._cancelled.update(int(j) for j in cancelled)
+
+    def _claim_loop(
+        self, max_jobs: int | None, idle_exit_s: float | None
+    ) -> None:
+        """One claim thread: claim a batch, execute it, repeat."""
+        idle_since: float | None = None
+        while not self._stop.is_set():
+            if max_jobs is not None and self.jobs_done >= max_jobs:
+                self._stop.set()
+                return
+            try:
+                reply = self.client.claim(
+                    str(self.runner_id), self.claim_batch
+                )
+            except ConfigurationError:
+                # Lost our identity (master restarted, or we were
+                # declared dead and resurrected): start a new life.
+                try:
+                    self.register()
+                except (ConfigurationError, ServiceError):
+                    time.sleep(self.heartbeat_s)
+                continue
+            except ServiceError:
+                time.sleep(self.heartbeat_s)
+                continue
+            jobs = [Job.from_dict(doc) for doc in reply.get("jobs") or []]
+            if not jobs:
+                if idle_exit_s is not None:
+                    if idle_since is None:
+                        idle_since = time.monotonic()
+                    elif time.monotonic() - idle_since >= idle_exit_s:
+                        self._stop.set()
+                        return
+                self._stop.wait(IDLE_POLL_S)
+                continue
+            idle_since = None
+            for job in jobs:
+                if self._stop.is_set():
+                    return
+                self._execute_job(job)
+                self.jobs_done += 1
+                if max_jobs is not None and self.jobs_done >= max_jobs:
+                    self._stop.set()
+                    return
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _execute_job(self, job: Job) -> None:
+        """Drive one leased job to a terminal state on the master.
+
+        Lease rejections abort the job silently (the master re-issued
+        it); anything else the runner can name is reported through
+        ``runner.fail`` so the job fails visibly instead of waiting out
+        the lease TTL.
+        """
+        stall = float(os.environ.get(STALL_ENV_VAR, "0") or 0.0)
+        if stall > 0:
+            time.sleep(stall)
+        runner_id = str(self.runner_id)
+        try:
+            if job.kind == KIND_RUN:
+                self._execute_single(runner_id, job)
+            else:
+                self._execute_sweep(runner_id, job)
+        except ConfigurationError as error:
+            self._log(f"{job.label()} lease lost: {error}")
+        except ServiceError as error:
+            self._log(f"{job.label()} master unreachable: {error}")
+        except Exception as error:  # noqa: BLE001 - job-level isolation
+            try:
+                self.client.fail(
+                    runner_id,
+                    job.job_id,
+                    {
+                        "type": type(error).__name__,
+                        "message": str(error),
+                        "traceback": "",
+                    },
+                )
+            except (ConfigurationError, ServiceError):
+                pass  # lease already gone; the master moved on
+
+    def _execute_single(self, runner_id: str, job: Job) -> None:
+        """Run-kind job: proxied lookup, compute on miss, report."""
+        spec = job.spec()
+        payload = spec_payload(spec)
+        hit = self.client.lookup(runner_id, job.job_id, payload)
+        if hit.get("hit"):
+            self.client.progress(
+                runner_id, job.job_id, 1, 1,
+                run_id=str(hit.get("run_id")), cached=True,
+            )
+            self.client.complete(
+                runner_id, job.job_id, metrics=dict(hit.get("metrics") or {})
+            )
+            return
+        record, failure, duration, spans = self._compute(spec)
+        if failure is not None:
+            self.client.ingest(
+                runner_id, job.job_id, payload,
+                failure=failure, duration_s=duration, spans=spans,
+            )
+            self.client.fail(runner_id, job.job_id, failure)
+            return
+        reply = self.client.ingest(
+            runner_id, job.job_id, payload,
+            record=record, duration_s=duration, spans=spans,
+        )
+        self.client.progress(
+            runner_id, job.job_id, 1, 1,
+            run_id=str(reply.get("run_id")), cached=False,
+        )
+        self.client.complete(
+            runner_id, job.job_id, metrics=dict(reply.get("metrics") or {})
+        )
+
+    def _execute_sweep(self, runner_id: str, job: Job) -> None:
+        """Sweep-kind job: per-point lookup/compute, cancel at boundaries."""
+        pairs = sweep_specs(job)
+        total = len(pairs)
+        last_metrics: dict[str, float] = {}
+        for index, (point, spec) in enumerate(pairs):
+            if self._is_cancelled(job.job_id):
+                break
+            payload = spec_payload(spec)
+            hit = self.client.lookup(runner_id, job.job_id, payload)
+            if hit.get("hit"):
+                run_id = str(hit.get("run_id"))
+                metrics = dict(hit.get("metrics") or {})
+                cached = True
+            else:
+                record, failure, duration, spans = self._compute(spec)
+                if failure is not None:
+                    self.client.ingest(
+                        runner_id, job.job_id, payload,
+                        failure=failure, duration_s=duration, spans=spans,
+                    )
+                    self.client.fail(runner_id, job.job_id, failure)
+                    return
+                reply = self.client.ingest(
+                    runner_id, job.job_id, payload,
+                    record=record, duration_s=duration, spans=spans,
+                )
+                run_id = str(reply.get("run_id"))
+                metrics = dict(reply.get("metrics") or {})
+                cached = False
+            last_metrics = metrics
+            reply = self.client.progress(
+                runner_id, job.job_id, index + 1, total,
+                run_id=run_id, cached=cached,
+                point=point, metrics=metrics,
+            )
+            if reply.get("cancel_requested"):
+                break
+        # The master turns this into cancelled when a cancel is pending.
+        self.client.complete(runner_id, job.job_id, metrics=last_metrics)
+
+    def _is_cancelled(self, job_id: int) -> bool:
+        with self._lock:
+            return job_id in self._cancelled
+
+    def _compute(self, spec):
+        """Execute one miss via the engine's pool-worker entry point.
+
+        Lazy import: a runner that only ever serves proxied cache hits
+        never loads the driver stack (numpy) at all.  With
+        ``use_processes`` the import happens in a pool child instead.
+        """
+        from repro.runtime.engine import _execute_safe
+
+        if not self.use_processes:
+            return _execute_safe(spec, None)
+        from concurrent.futures import BrokenExecutor
+
+        with self._pool_lock:
+            if self._pool is None:
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            pool = self._pool
+        try:
+            return pool.submit(_execute_safe, spec, None).result()
+        except BrokenExecutor:
+            with self._pool_lock:
+                if self._pool is pool:
+                    self._pool = None
+            pool.shutdown(wait=False)
+            raise
+
+    def _log(self, message: str) -> None:
+        if self.on_event is not None:
+            self.on_event(message)

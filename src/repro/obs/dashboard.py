@@ -12,6 +12,8 @@ Panels:
 
 * **queue** — worker utilisation, per-status counts, the most recent
   jobs;
+* **fleet** — remote runner registry (alive/lost counts, per-runner
+  lease and completion tallies), shown once runners have registered;
 * **one panel per live sweep** — progress counters plus a sparkline
   per headline metric series (fringe visibility, CHSH S, CAR, ...)
   ordered by scan index, exactly the live view the paper's Bell-fringe
@@ -212,6 +214,32 @@ def _queue_lines(snapshot: Mapping[str, object]) -> list[str]:
     return lines
 
 
+def _fleet_lines(snapshot: Mapping[str, object]) -> list[str]:
+    """The fleet panel's body: runner counts plus one line per runner."""
+    counts = snapshot.get("counts")
+    counts = dict(counts) if isinstance(counts, Mapping) else {}
+    lines = [
+        f"runners alive={counts.get('alive', 0)} "
+        f"lost={counts.get('lost', 0)} "
+        f"leases={counts.get('leases', 0)}"
+    ]
+    runners = snapshot.get("runners")
+    if isinstance(runners, Mapping):
+        for name in sorted(runners):
+            doc = runners[name]
+            if not isinstance(doc, Mapping):
+                continue
+            leases = doc.get("leases")
+            busy = len(leases) if isinstance(leases, (list, tuple)) else 0
+            lines.append(
+                f"{name:<12} {doc.get('status', '?'):<6} "
+                f"{doc.get('host', '?')}:{doc.get('pid', '?')} "
+                f"busy={busy} done={doc.get('completed', 0)} "
+                f"failed={doc.get('failed', 0)}"
+            )
+    return lines
+
+
 def _sweep_lines(topic: str, snapshot: Mapping[str, object]) -> list[str]:
     """One sweep panel's body lines (progress + metric sparklines)."""
     counts = snapshot.get("counts")
@@ -279,6 +307,12 @@ def render_frame(model: DashboardModel, width: int = 78) -> str:
         if names.TOPIC_QUEUE in model.gapped:
             title += " [gap]"
         lines += panel(title, _queue_lines(queue))
+    fleet = model.topics.get(names.TOPIC_FLEET)
+    if fleet is not None and fleet.get("runners"):
+        title = "fleet"
+        if names.TOPIC_FLEET in model.gapped:
+            title += " [gap]"
+        lines += panel(title, _fleet_lines(fleet))
     for topic in model.sweep_topics():
         snapshot = model.topics[topic]
         key = topic[len(names.TOPIC_SWEEP_PREFIX) :]

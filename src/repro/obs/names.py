@@ -42,6 +42,8 @@ SPAN_RPC_REQUEST = "rpc.request"
 SPAN_ANALYSIS_PIPELINE = "analysis.pipeline"
 #: One analyzer invocation inside a pipeline (cached or computed).
 SPAN_ANALYSIS_ANALYZER = "analysis.analyzer"
+#: One leased job executing on a fleet runner, claim to report.
+SPAN_FLEET_EXECUTE = "fleet.execute"
 
 #: Every declared span name.
 SPANS = frozenset(
@@ -56,6 +58,7 @@ SPANS = frozenset(
         SPAN_RPC_REQUEST,
         SPAN_ANALYSIS_PIPELINE,
         SPAN_ANALYSIS_ANALYZER,
+        SPAN_FLEET_EXECUTE,
     }
 )
 
@@ -86,6 +89,16 @@ METRIC_MC_CHUNKS = "mc.chunks"
 METRIC_EVENTS_JOURNAL_FALLBACKS = "events.journal_fallbacks"
 #: Malformed queue-journal lines skipped at load/replay (counter).
 METRIC_QUEUE_JOURNAL_MALFORMED = "queue.journal_malformed"
+#: Job leases granted to fleet runners (counter).
+METRIC_FLEET_LEASES = "fleet.leases"
+#: Leases expired because a runner missed its heartbeats (counter).
+METRIC_FLEET_LEASES_EXPIRED = "fleet.leases_expired"
+#: Runner heartbeats accepted by the coordinator (counter).
+METRIC_FLEET_HEARTBEATS = "fleet.heartbeats"
+#: Remote run records ingested through the master-side RPC (counter).
+METRIC_FLEET_INGESTED = "fleet.ingested"
+#: Long-poll requests rejected with 503 at the inflight cap (counter).
+METRIC_API_OVERLOADED = "api.overloaded"
 
 #: Every declared counter name.
 COUNTERS = frozenset(
@@ -101,6 +114,11 @@ COUNTERS = frozenset(
         METRIC_MC_CHUNKS,
         METRIC_EVENTS_JOURNAL_FALLBACKS,
         METRIC_QUEUE_JOURNAL_MALFORMED,
+        METRIC_FLEET_LEASES,
+        METRIC_FLEET_LEASES_EXPIRED,
+        METRIC_FLEET_HEARTBEATS,
+        METRIC_FLEET_INGESTED,
+        METRIC_API_OVERLOADED,
     }
 )
 
@@ -110,6 +128,10 @@ METRIC_MC_POINTS_PER_SECOND = "mc.points_per_second"
 METRIC_QUEUE_DEPTH = "queue.depth"
 #: Worker count the chunked backend resolved at its last dispatch (gauge).
 METRIC_MC_CHUNK_WORKERS = "mc.chunk_workers"
+#: Registered fleet runners currently alive (gauge).
+METRIC_FLEET_RUNNERS = "fleet.runners"
+#: Long-poll handler threads currently inflight on the API (gauge).
+METRIC_API_INFLIGHT = "api.inflight"
 
 #: Every declared gauge name.
 GAUGES = frozenset(
@@ -117,6 +139,8 @@ GAUGES = frozenset(
         METRIC_MC_POINTS_PER_SECOND,
         METRIC_QUEUE_DEPTH,
         METRIC_MC_CHUNK_WORKERS,
+        METRIC_FLEET_RUNNERS,
+        METRIC_API_INFLIGHT,
     }
 )
 
@@ -170,9 +194,13 @@ TOPIC_METRICS = "metrics.registry"
 #: is journaled, so stale subscribers can recover from the obs journal
 #: and ``repro dashboard --replay`` works offline.
 TOPIC_SWEEP_PREFIX = "datasets.sweep."
+#: Fleet state: registered runners, live leases, lifetime totals —
+#: maintained by :class:`repro.fleet.coordinator.FleetCoordinator` so
+#: ``repro dashboard`` shows the runner fleet next to the queue.
+TOPIC_FLEET = "fleet.state"
 
 #: Every declared fixed topic name (families validate by prefix).
-TOPICS = frozenset({TOPIC_QUEUE, TOPIC_METRICS})
+TOPICS = frozenset({TOPIC_QUEUE, TOPIC_METRICS, TOPIC_FLEET})
 
 #: Declared topic-family prefixes (member topics carry a dynamic key).
 TOPIC_PREFIXES = (TOPIC_SWEEP_PREFIX,)

@@ -84,6 +84,33 @@ class ResultCache:
         """The entry file for a fingerprint."""
         return self.root / f"{key}.json"
 
+    def contains(self, key: str) -> bool:
+        """Whether an entry file exists for a fingerprint (stat only).
+
+        A *probe*, not a read: it does not parse, validate or count the
+        entry towards hit/miss statistics.  The fleet coordinator calls
+        this under the store lock to classify pending jobs as
+        serve-inline vs. lease-remote, so it must stay O(one stat).
+        """
+        return self.path_for(key).exists()
+
+    def read_entry(self, key: str) -> dict[str, object] | None:
+        """The raw JSON entry for a fingerprint, or None.
+
+        Numpy-free access to a cached record's scalar ``metrics`` —
+        the master serves cache-hit jobs from
+        ``entry["record"]["metrics"]`` without materialising arrays.
+        Torn or foreign files read as None (the caller falls back to a
+        lease and the runner's miss path recomputes).
+        """
+        try:
+            entry = json.loads(
+                self.path_for(key).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            return None
+        return entry if isinstance(entry, dict) else None
+
     def get(self, key: str) -> ExperimentResult | None:
         """The cached result for a fingerprint, or None on a miss.
 

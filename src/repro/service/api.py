@@ -42,6 +42,8 @@ from repro.errors import (
     ReproError,
     ServiceError,
 )
+from repro.fleet.coordinator import FleetCoordinator
+from repro.fleet.protocol import DEFAULT_LEASE_TTL_S
 from repro.obs import names as obs_names
 from repro.runtime.engine import RunEngine, default_root
 from repro.service import datasets
@@ -61,6 +63,19 @@ RPC_SERVER_ERROR = -32000
 #: Longest allowed long-poll, seconds; clients re-poll past this.
 MAX_POLL_S = 60.0
 
+#: Methods that park a request thread for up to :data:`MAX_POLL_S`.
+#: ``ThreadingHTTPServer`` spawns one thread per request with no upper
+#: bound, so these — and only these — are admission-controlled through
+#: a bounded semaphore (the work-plane ``runner.*`` RPCs return
+#: promptly and must never be starved by a dashboard crowd).
+LONG_POLL_METHODS = frozenset({"events", "poll_datasets", "result"})
+
+#: Default cap on concurrently parked long-poll handler threads.
+DEFAULT_MAX_POLLS = 32
+
+#: ``Retry-After`` hint sent with a 503 overload rejection, seconds.
+RETRY_AFTER_S = 1
+
 
 class ExperimentService:
     """The always-on experiment daemon: store + scheduler + HTTP API.
@@ -79,6 +94,9 @@ class ExperimentService:
         workers: int = 2,
         use_processes: bool = True,
         on_event=None,
+        dispatch: str = "auto",
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        max_polls: int = DEFAULT_MAX_POLLS,
     ) -> None:
         self.root = pathlib.Path(root) if root is not None else default_root()
         self.host = host
@@ -91,17 +109,29 @@ class ExperimentService:
             obs.configure(enabled=True)
         self.engine = RunEngine(root=self.root)
         self.store = JobStore(self.root, recover=True)
+        self.fleet = FleetCoordinator(
+            self.store,
+            self.engine,
+            lease_ttl_s=lease_ttl_s,
+            on_event=on_event,
+        )
         self.scheduler = Scheduler(
             self.store,
             self.engine,
             workers=workers,
             use_processes=use_processes,
             on_event=on_event,
+            dispatch=dispatch,
+            fleet=self.fleet,
         )
         self._httpd: ThreadingHTTPServer | None = None
         self._http_thread: threading.Thread | None = None
         self._started_unix: float | None = None
         self.metrics_publisher = datasets.MetricsPublisher()
+        self.max_polls = max(1, int(max_polls))
+        self._poll_slots = threading.BoundedSemaphore(self.max_polls)
+        self._poll_lock = threading.Lock()
+        self._polls_inflight = 0
         self._methods = {
             "submit": self._rpc_submit,
             "status": self._rpc_status,
@@ -115,6 +145,15 @@ class ExperimentService:
             "health": self._rpc_health,
             "metrics": self._rpc_metrics,
             "shutdown": self._rpc_shutdown,
+            "runner.register": self.fleet.register,
+            "runner.heartbeat": self.fleet.heartbeat,
+            "runner.claim": self.fleet.claim,
+            "runner.lookup": self.fleet.lookup,
+            "runner.ingest": self.fleet.ingest,
+            "runner.progress": self.fleet.progress,
+            "runner.complete": self.fleet.complete,
+            "runner.fail": self.fleet.fail,
+            "fleet.status": self.fleet.status,
         }
 
     # ------------------------------------------------------------------
@@ -125,6 +164,7 @@ class ExperimentService:
         if self._httpd is not None:
             raise ServiceError("service already started")
         self.scheduler.start()
+        self.fleet.start()
         service = self
 
         class _Handler(_RPCHandler):
@@ -177,6 +217,7 @@ class ExperimentService:
             self._http_thread.join(timeout=5.0)
             self._http_thread = None
         self.metrics_publisher.stop()
+        self.fleet.stop()
         self.scheduler.stop(wait=True)
         self.service_file_path().unlink(missing_ok=True)
 
@@ -210,6 +251,33 @@ class ExperimentService:
                 sort_keys=True,
             ),
         )
+
+    # ------------------------------------------------------------------
+    # Long-poll admission control
+    # ------------------------------------------------------------------
+    def acquire_poll_slot(self) -> bool:
+        """Try to admit one long-poll handler thread (never blocks).
+
+        ``ThreadingHTTPServer`` has no thread cap, so without this a
+        runner fleet plus a crowd of dashboards could park unbounded
+        threads in :data:`MAX_POLL_S` waits.  Rejected requests get a
+        503 with ``Retry-After`` — clients back off briefly and retry.
+        """
+        if not self._poll_slots.acquire(blocking=False):
+            return False
+        with self._poll_lock:
+            self._polls_inflight += 1
+            inflight = self._polls_inflight
+        obs.gauge(obs_names.METRIC_API_INFLIGHT, inflight)
+        return True
+
+    def release_poll_slot(self) -> None:
+        """Return one admitted long-poll slot."""
+        with self._poll_lock:
+            self._polls_inflight -= 1
+            inflight = self._polls_inflight
+        self._poll_slots.release()
+        obs.gauge(obs_names.METRIC_API_INFLIGHT, inflight)
 
     # ------------------------------------------------------------------
     # RPC dispatch
@@ -416,6 +484,7 @@ class ExperimentService:
             ),
             "workers": self.scheduler.workers,
             "counts": counts,
+            "fleet": self.fleet.status()["counts"],
             "cache": (
                 self.engine.cache.stats() if self.engine.cache else None
             ),
@@ -504,6 +573,20 @@ class _RPCHandler(BaseHTTPRequestHandler):
             )
             return
         method = str(request["method"])
+        limited = method in LONG_POLL_METHODS
+        if limited and not self.context.acquire_poll_slot():
+            obs.count(obs_names.METRIC_API_OVERLOADED, method=method)
+            self._reply(
+                503,
+                _rpc_error(
+                    request_id,
+                    RPC_SERVER_ERROR,
+                    f"too many concurrent long-polls "
+                    f"(cap {self.context.max_polls}); retry shortly",
+                ),
+                extra_headers={"Retry-After": str(RETRY_AFTER_S)},
+            )
+            return
         start = time.perf_counter()
         ok = True
         try:
@@ -535,6 +618,8 @@ class _RPCHandler(BaseHTTPRequestHandler):
                 200, {"jsonrpc": "2.0", "id": request_id, "result": result}
             )
         finally:
+            if limited:
+                self.context.release_poll_slot()
             obs.observe(
                 obs_names.METRIC_RPC_REQUEST_SECONDS,
                 time.perf_counter() - start,
@@ -542,19 +627,37 @@ class _RPCHandler(BaseHTTPRequestHandler):
             )
             obs.count(obs_names.METRIC_RPC_REQUESTS, method=method, ok=ok)
 
-    def _reply(self, code: int, payload: dict[str, object]) -> None:
+    def _reply(
+        self,
+        code: int,
+        payload: dict[str, object],
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
         """Serialise one JSON response."""
-        self._send(code, json.dumps(payload).encode("utf-8"), "application/json")
+        self._send(
+            code,
+            json.dumps(payload).encode("utf-8"),
+            "application/json",
+            extra_headers,
+        )
 
     def _reply_text(self, code: int, text: str) -> None:
         """Serialise one plain-text response (the Prometheus scrape)."""
         self._send(code, text.encode("utf-8"), "text/plain; charset=utf-8")
 
-    def _send(self, code: int, body: bytes, content_type: str) -> None:
+    def _send(
+        self,
+        code: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
         """Write one complete HTTP response, tolerating client hangups."""
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         try:
             self.wfile.write(body)

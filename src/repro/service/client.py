@@ -32,6 +32,14 @@ from repro.service.api import RPC_INVALID_PARAMS, read_service_file
 #: Extra HTTP slack on top of a long-poll timeout, seconds.
 _POLL_SLACK_S = 10.0
 
+#: How many times a 503 (long-poll admission control) is retried
+#: before surfacing; each retry honours the server's ``Retry-After``.
+_OVERLOAD_RETRIES = 3
+
+#: Retry-After ceiling, seconds — a misbehaving server must not park
+#: the client arbitrarily long.
+_MAX_RETRY_AFTER_S = 5.0
+
 
 class ServiceClient:
     """A localhost JSON-RPC client bound to one service URL."""
@@ -78,25 +86,34 @@ class ServiceClient:
             headers={"Content-Type": "application/json"},
             method="POST",
         )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=timeout or self.timeout
-            ) as response:
-                reply = json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as error:
-            reply = self._error_body(error)
-        except urllib.error.URLError as error:
-            raise ServiceError(
-                f"experiment service unreachable at {self.url}: "
-                f"{error.reason}"
-            ) from error
-        except OSError as error:
-            # A daemon dying mid-request resets the socket, which
-            # surfaces as a bare OSError rather than a URLError.
-            raise ServiceError(
-                f"experiment service connection failed at {self.url}: "
-                f"{error}"
-            ) from error
+        for attempt in range(_OVERLOAD_RETRIES + 1):
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=timeout or self.timeout
+                ) as response:
+                    reply = json.loads(response.read().decode("utf-8"))
+                break
+            except urllib.error.HTTPError as error:
+                # 503 = the server's long-poll admission control shed
+                # this request; honour Retry-After briefly and retry.
+                if error.code == 503 and attempt < _OVERLOAD_RETRIES:
+                    self._drain(error)
+                    time.sleep(self._retry_after(error))
+                    continue
+                reply = self._error_body(error)
+                break
+            except urllib.error.URLError as error:
+                raise ServiceError(
+                    f"experiment service unreachable at {self.url}: "
+                    f"{error.reason}"
+                ) from error
+            except OSError as error:
+                # A daemon dying mid-request resets the socket, which
+                # surfaces as a bare OSError rather than a URLError.
+                raise ServiceError(
+                    f"experiment service connection failed at {self.url}: "
+                    f"{error}"
+                ) from error
         if not isinstance(reply, dict):
             raise ServiceError(
                 f"rpc {method!r}: malformed reply {reply!r}"
@@ -121,6 +138,23 @@ class ServiceClient:
             return {
                 "error": {"code": None, "message": f"HTTP {error.code}"}
             }
+
+    @staticmethod
+    def _drain(error: urllib.error.HTTPError) -> None:
+        """Consume a retried error's body so its connection can be reused."""
+        try:
+            error.read()
+        except OSError:
+            pass
+
+    @staticmethod
+    def _retry_after(error: urllib.error.HTTPError) -> float:
+        """The (clamped) Retry-After delay of a 503, defaulting to 0.5s."""
+        try:
+            delay = float(error.headers.get("Retry-After", "0.5"))
+        except (TypeError, ValueError):
+            delay = 0.5
+        return min(max(delay, 0.1), _MAX_RETRY_AFTER_S)
 
     # ------------------------------------------------------------------
     # API surface
@@ -283,6 +317,10 @@ class ServiceClient:
     def health(self) -> dict[str, object]:
         """The daemon's liveness snapshot."""
         return self.call("health")
+
+    def fleet_status(self) -> dict[str, object]:
+        """The daemon's fleet snapshot (runners, leases, counts)."""
+        return self.call("fleet.status")
 
     def metrics(self) -> dict[str, object]:
         """The daemon's telemetry snapshot (counters/gauges/histograms)."""

@@ -102,6 +102,13 @@ class Job:
     metrics: dict[str, float] | None = None
     #: Filled on failure: ``type``/``message``/``traceback`` strings.
     error: dict[str, str] | None = None
+    #: The executing worker's identity, stamped at claim time: a local
+    #: scheduler thread (``local/<worker>``) or a remote fleet runner.
+    #: Cleared whenever the job returns to ``pending`` so a stale
+    #: identity can never outlive the claim it described.
+    runner_id: str | None = None
+    runner_host: str | None = None
+    runner_pid: int | None = None
 
     def __post_init__(self) -> None:
         """Validate kind/scan consistency and normalise the id fields."""
@@ -208,6 +215,41 @@ class Job:
             self.cached_points = 0
             self.metrics = None
             self.error = None
+            self.clear_runner()
+
+    def reset_to_pending(self) -> None:
+        """Return a running job to ``pending`` for another attempt.
+
+        The lease-expiry twin of the ``requeue`` transition: same field
+        resets and attempt bump, but entered from ``running`` — the
+        state machine reserves ``terminal → pending`` for requeue, and
+        a job abandoned by a dead runner was never terminal.
+        """
+        self.status = PENDING
+        self.attempt += 1
+        self.cancel_requested = False
+        self.started_unix = None
+        self.finished_unix = None
+        self.done_points = 0
+        self.run_ids = []
+        self.cached_points = 0
+        self.metrics = None
+        self.error = None
+        self.clear_runner()
+
+    def assign_runner(
+        self, runner_id: str, host: str | None, pid: int | None
+    ) -> None:
+        """Stamp the executing worker's identity onto the job."""
+        self.runner_id = str(runner_id)
+        self.runner_host = str(host) if host else None
+        self.runner_pid = int(pid) if pid else None
+
+    def clear_runner(self) -> None:
+        """Drop the runner identity (the claim it described is gone)."""
+        self.runner_id = None
+        self.runner_host = None
+        self.runner_pid = None
 
     # ------------------------------------------------------------------
     # Persistence

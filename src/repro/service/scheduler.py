@@ -22,6 +22,8 @@ effect at the next point boundary.
 
 from __future__ import annotations
 
+import os
+import socket
 import threading
 from collections.abc import Callable
 
@@ -68,6 +70,18 @@ class Scheduler:
     on_event:
         Optional ``callable(message: str)`` receiving one line per
         job transition (the CLI's ``serve`` log).
+    dispatch:
+        Where run/sweep jobs execute. ``"local"`` — always on this
+        host's pool (pre-fleet behaviour). ``"remote"`` — claim threads
+        only take analyze jobs; everything else waits for fleet
+        runners (``workers=0`` masters are pure brokers). ``"auto"``
+        (the service default) — local execution steps back once live
+        runners exist, except for analyze jobs and inline-servable
+        cache hits, which stay on the master where they are cheapest.
+    fleet:
+        The daemon's :class:`repro.fleet.coordinator.FleetCoordinator`
+        (None for fleet-less embedded use; dispatch then degrades to
+        ``"local"``).
     """
 
     def __init__(
@@ -78,15 +92,30 @@ class Scheduler:
         use_processes: bool = True,
         poll_s: float = 1.0,
         on_event: Callable[[str], None] | None = None,
+        dispatch: str = "local",
+        fleet=None,
     ) -> None:
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if dispatch not in ("auto", "local", "remote"):
+            raise ValueError(
+                f"dispatch must be 'auto', 'local' or 'remote', "
+                f"got {dispatch!r}"
+            )
+        if workers == 0 and (dispatch == "local" or fleet is None):
+            raise ValueError(
+                "workers=0 needs a fleet and a non-local dispatch policy "
+                "(nothing would ever execute)"
+            )
         self.store = store
         self.engine = engine
         self.workers = workers
         self.use_processes = use_processes
         self.poll_s = poll_s
         self.on_event = on_event
+        self.dispatch = dispatch
+        self.fleet = fleet
+        self._host = socket.gethostname()
         self._threads: list[threading.Thread] = []
         self._stop = threading.Event()
         self._pool = None
@@ -151,12 +180,38 @@ class Scheduler:
     # ------------------------------------------------------------------
     def _worker_loop(self, name: str) -> None:
         """One claim thread: claim → execute → repeat until stopped."""
+        accept = (
+            None
+            if self.dispatch == "local" or self.fleet is None
+            else self._accept_job
+        )
+        identity = (f"local/{name}", self._host, os.getpid())
         while not self._stop.is_set():
-            job = self.store.claim(name)
+            job = self.store.claim(name, accept=accept, identity=identity)
             if job is None:
                 self.store.wait_for_work(self.poll_s)
                 continue
             self._run_job(job)
+
+    def _accept_job(self, job: Job) -> bool:
+        """The dispatch policy: should a *local* thread take this job?
+
+        Runs under the store lock, so every branch is cheap: analyze
+        jobs are always local (they read the master's archive/index),
+        ``remote`` refuses everything else, and ``auto`` keeps
+        run/sweep work local only while no runner is alive — except
+        cache-hit run jobs, which serve inline faster than any lease
+        round-trip could.
+        """
+        if job.kind == KIND_ANALYZE:
+            return True
+        if self.dispatch == "remote":
+            return False
+        if self.fleet.live_runner_count() == 0:
+            return True
+        return job.kind == KIND_RUN and isinstance(
+            self.fleet.probe(job), tuple
+        )
 
     def _run_job(self, job: Job) -> None:
         """Execute one claimed job through to a terminal state."""

@@ -159,6 +159,7 @@ class JobStore:
                 if job.status == RUNNING:
                     job.status = PENDING
                     job.started_unix = None
+                    job.clear_runner()
                     self._persist(job, "recovered")
                 self._claim_path(job.job_id).unlink(missing_ok=True)
 
@@ -264,6 +265,51 @@ class JobStore:
             self._persist(job, "submitted")
         return job, False
 
+    def submit_batch(
+        self, requests: Iterable[Mapping[str, object]]
+    ) -> list[Job]:
+        """Bulk-enqueue submissions with ONE fsynced journal append.
+
+        The load-generator path: no dedupe and no cache consult — the
+        caller (benchmarks, campaign scripts) pre-validated its specs
+        and wants enqueue cost dominated by one journal append, not by
+        per-job fsync pacing.  Each request is a mapping with the
+        :meth:`submit` keyword fields (``experiment_id`` required;
+        ``seed``/``quick``/``params``/``scan``/``analysis``/
+        ``priority``/``pipeline`` optional).
+        """
+        jobs: list[Job] = []
+        batch: list[tuple[Job, dict[str, object]]] = []
+        now = time.time()
+        with self._changed:
+            for request in requests:
+                analysis = request.get("analysis")
+                scan = request.get("scan")
+                if analysis:
+                    kind = KIND_ANALYZE
+                    experiment_id = ANALYSIS_EXPERIMENT
+                else:
+                    kind = KIND_SWEEP if scan else KIND_RUN
+                    experiment_id = str(request["experiment_id"])
+                job = Job(
+                    job_id=self._allocate_id(),
+                    kind=kind,
+                    experiment_id=experiment_id,
+                    seed=int(request.get("seed", 0)),
+                    quick=bool(request.get("quick", False)),
+                    params=dict(request.get("params") or {}),
+                    scan=dict(scan) if scan else None,
+                    analysis_pipeline=analysis or None,
+                    pipeline=str(request.get("pipeline", "main")),
+                    priority=int(request.get("priority", 0)),
+                    submitted_unix=now,
+                )
+                self._jobs[job.job_id] = job
+                batch.append((job, self._write_entry(job, "submitted")))
+                jobs.append(job)
+            self._persist_batch(batch)
+        return jobs
+
     def _allocate_id(self) -> int:
         """Claim the next free job id atomically across processes.
 
@@ -328,19 +374,34 @@ class JobStore:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def claim(self, worker: str = "?") -> Job | None:
+    def claim(
+        self,
+        worker: str = "?",
+        accept=None,
+        identity: tuple[str, str | None, int | None] | None = None,
+    ) -> Job | None:
         """Atomically claim the highest-priority pending job, or None.
 
         Claim order is ``(-priority, job_id)``.  The O_EXCL marker file
         keeps a second scheduler *process* sharing this queue directory
         from double-running the job; within one process the store lock
         already serialises claims.
+
+        ``accept`` is an optional ``accept(job) -> bool`` predicate
+        evaluated under the store lock (so it must be cheap): jobs it
+        rejects stay pending for another claimant — the hook the
+        scheduler's dispatch policy uses to leave remote-eligible work
+        for fleet runners.  ``identity`` is an optional
+        ``(runner_id, host, pid)`` triple stamped onto the job so
+        status output names the executing worker.
         """
         with self._changed:
             for job in sorted(
                 (j for j in self._jobs.values() if j.status == PENDING),
                 key=Job.sort_key,
             ):
+                if accept is not None and not accept(job):
+                    continue
                 if not self._take_claim(job.job_id, worker):
                     continue
                 # Re-read the status file after winning the marker: a
@@ -351,9 +412,95 @@ class JobStore:
                     self._claim_path(job.job_id).unlink(missing_ok=True)
                     continue
                 job.transition(RUNNING)
+                if identity is not None:
+                    job.assign_runner(*identity)
                 self._persist(job, "started", worker=worker)
                 return job
         return None
+
+    def drain(
+        self,
+        worker: str,
+        max_jobs: int,
+        classify,
+        identity: tuple[str, str | None, int | None] | None = None,
+    ) -> tuple[list[Job], list[Job]]:
+        """Claim up to ``max_jobs`` pending jobs in one locked pass.
+
+        The batch claim behind fleet leases.  ``classify(job)`` is
+        called under the store lock (so it must be cheap — a cache
+        *probe*, not a cache read) and returns one of:
+
+        - ``None`` — skip; the job stays pending for another claimant,
+        - ``"lease"`` — claim it ``running`` for the caller to execute,
+        - ``("serve", run_id, metrics)`` — an already-cached run-kind
+          job; it completes instantly, never leaving the master.
+
+        Returns ``(served, leased)``.  All journal lines of the batch
+        land in one fsynced append (see :meth:`_persist_batch`): a
+        fully-cached 10k-job drain costs hundreds, not tens of
+        thousands, of fsyncs — the difference between ~100 jobs/s and
+        the >1k jobs/s fleet benchmark bar.
+        """
+        served: list[Job] = []
+        leased: list[Job] = []
+        batch: list[tuple[Job, dict[str, object]]] = []
+        with self._changed:
+            for job in sorted(
+                (j for j in self._jobs.values() if j.status == PENDING),
+                key=Job.sort_key,
+            ):
+                if len(served) + len(leased) >= max_jobs:
+                    break
+                verdict = classify(job)
+                if verdict is None:
+                    continue
+                if not self._take_claim(job.job_id, worker):
+                    continue
+                job = self._reload(job.job_id) or job
+                if job.status != PENDING:
+                    self._claim_path(job.job_id).unlink(missing_ok=True)
+                    continue
+                job.transition(RUNNING)
+                if identity is not None:
+                    job.assign_runner(*identity)
+                if verdict == "lease" or job.kind != KIND_RUN:
+                    batch.append(
+                        (job, self._write_entry(job, "started",
+                                                worker=worker))
+                    )
+                    leased.append(job)
+                    continue
+                _, run_id, metrics = verdict
+                job.transition(DONE)
+                job.done_points = 1
+                job.total_points = 1
+                job.cached_points = 1
+                job.run_ids = [run_id]
+                job.metrics = dict(metrics)
+                batch.append(
+                    (job, self._write_entry(job, "served", worker=worker))
+                )
+                self._claim_path(job.job_id).unlink(missing_ok=True)
+                served.append(job)
+            self._persist_batch(batch)
+        return served, leased
+
+    def release(self, job: Job, event: str = "lease_expired") -> None:
+        """Return a running job to ``pending`` after its lease died.
+
+        The remote twin of crash :meth:`_recover`: the runner stopped
+        heartbeating, so its claim is void.  The attempt counter bumps
+        (this *was* an execution attempt) and the runner identity is
+        cleared; the claim marker is unlinked only after the pending
+        state is durable, mirroring :meth:`finish`.
+        """
+        with self._changed:
+            if job.status != RUNNING:
+                return
+            job.reset_to_pending()
+            self._persist(job, event)
+            self._claim_path(job.job_id).unlink(missing_ok=True)
 
     def _reload(self, job_id: int) -> Job | None:
         """Refresh one job from disk (syncs cross-process state)."""
@@ -597,6 +744,38 @@ class JobStore:
         enabled), so an ``obs/events.jsonl`` replay reconstructs
         exactly the lifecycle a live long-poller saw.
         """
+        entry = self._write_entry(job, event, **extra)
+        append_line(self.journal_path, json.dumps(entry, sort_keys=True))
+        self._publish_entry(job, entry)
+        self._changed.notify_all()
+
+    def _persist_batch(
+        self, batch: list[tuple[Job, dict[str, object]]]
+    ) -> None:
+        """Journal many prepared entries with ONE fsynced append.
+
+        Caller holds the lock and already called :meth:`_write_entry`
+        for each pair.  ``append_line`` fsyncs on every call, so the
+        batched drain/submit paths join their journal lines into a
+        single append — this is what lifts fully-cached throughput from
+        per-job fsync pacing to >1k jobs/s.
+        """
+        if not batch:
+            return
+        append_line(
+            self.journal_path,
+            "\n".join(
+                json.dumps(entry, sort_keys=True) for _, entry in batch
+            ),
+        )
+        for job, entry in batch:
+            self._publish_entry(job, entry)
+        self._changed.notify_all()
+
+    def _write_entry(
+        self, job: Job, event: str, **extra: object
+    ) -> dict[str, object]:
+        """Rewrite the job file and build (but not journal) its event."""
         atomic_write_text(
             self.job_path(job.job_id),
             json.dumps(job.to_dict(), indent=2, sort_keys=True),
@@ -615,17 +794,19 @@ class JobStore:
         if job.wait_s is not None:
             entry["wait_s"] = job.wait_s
         entry.update(extra)
-        append_line(self.journal_path, json.dumps(entry, sort_keys=True))
+        return entry
+
+    def _publish_entry(self, job: Job, entry: dict[str, object]) -> None:
+        """Feed one journaled entry to the buffer, telemetry and bus."""
         self._events.append(entry)
-        self._changed.notify_all()
         obs.event(
             obs_names.EVENT_JOB_TRANSITION,
             {
                 "job_id": job.job_id,
-                "transition": event,
+                "transition": entry["event"],
                 "status": job.status,
                 "experiment": job.experiment_id,
-                "queue_seq": self._seq,
+                "queue_seq": entry["seq"],
             },
         )
         if obs.enabled():

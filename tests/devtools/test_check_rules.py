@@ -15,6 +15,7 @@ from repro.devtools.check.rules.cache_schema import (
     symbol_digest,
 )
 from repro.devtools.check.rules.exceptions import ExceptionHygieneRule
+from repro.devtools.check.rules.fleet_io import FleetIoRule
 from repro.devtools.check.rules.lazy_imports import (
     LIGHT_MODULES,
     LazyImportRule,
@@ -574,5 +575,86 @@ class TestBusTopicsRule:
                 """,
             },
             [BusTopicsRule()],
+        )
+        assert findings == []
+
+
+class TestFleetIoRule:
+    def test_file_io_in_runner_side_code_flagged(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/fleet/runner.py": """
+                import json
+                import pathlib
+
+                def stash(record, path: pathlib.Path):
+                    with open("/tmp/results.json", "w") as handle:
+                        json.dump(record, handle)
+                    path.write_text("{}")
+                    return path.read_text()
+                """
+            },
+            [FleetIoRule()],
+        )
+        assert len(findings) == 3
+        assert {f.rule for f in findings} == {"FLT001"}
+        assert "runner.lookup / runner.ingest" in findings[0].message
+
+    def test_durability_helpers_and_master_imports_flagged(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/fleet/runner.py": """
+                from repro.utils.io import atomic_write_text
+
+                def persist(path, payload):
+                    from repro.runtime.cache import ResultCache
+
+                    atomic_write_text(path, payload)
+                    return ResultCache
+                """
+            },
+            [FleetIoRule()],
+        )
+        # Two forbidden imports (top-level + deferred) and one helper call.
+        assert len(findings) == 3
+        assert {f.rule for f in findings} == {"FLT001"}
+        assert any("repro.runtime.cache" in f.message for f in findings)
+
+    def test_coordinator_and_outside_modules_exempt(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/fleet/coordinator.py": """
+                from repro.runtime.cache import ResultCache
+                from repro.utils.io import append_line
+
+                def persist(path, line):
+                    append_line(path, line)
+                    return open(path).read()
+                """,
+                "repro/service/store.py": """
+                from repro.utils.io import append_line
+
+                def journal(path, line):
+                    append_line(path, line)
+                """,
+            },
+            [FleetIoRule()],
+        )
+        assert findings == []
+
+    def test_rpc_only_runner_code_clean(self, run_rules):
+        findings = run_rules(
+            {
+                "repro/fleet/runner.py": """
+                from repro.fleet.client import RunnerClient
+
+                def execute(client, runner_id, job_id, payload):
+                    hit = client.lookup(runner_id, job_id, payload)
+                    if hit.get("hit"):
+                        return client.complete(runner_id, job_id)
+                    return client.ingest(runner_id, job_id, payload)
+                """
+            },
+            [FleetIoRule()],
         )
         assert findings == []

@@ -1,0 +1,114 @@
+"""End-to-end fleet tests: a real master, a real runner, real HTTP.
+
+The master boots with ``workers=0, dispatch="remote"`` — a pure broker
+that computes nothing itself — so every assertion about finished jobs
+proves the remote path: claim over JSON-RPC, proxied cache lookup,
+compute in the runner, ingest back through the master.  Compute stays
+in-thread on both sides (``use_processes=False``) to keep the suite
+fast and fork-free.
+"""
+
+import threading
+
+import pytest
+
+from repro.fleet.runner import FleetRunner
+from repro.service.api import ExperimentService
+from repro.service.client import ServiceClient
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A broker-only master on an ephemeral port."""
+    service = ExperimentService(
+        root=tmp_path / "engine-root",
+        workers=0,
+        use_processes=False,
+        dispatch="remote",
+        lease_ttl_s=5.0,
+    )
+    host, port = service.start()
+    try:
+        yield service, f"http://{host}:{port}"
+    finally:
+        service.stop()
+
+
+@pytest.fixture
+def runner(service):
+    """A started one-worker runner attached to the master."""
+    _, url = service
+    runner = FleetRunner(url, workers=1, use_processes=False)
+    runner.register()
+    thread = threading.Thread(
+        target=runner.run, kwargs={"idle_exit_s": 60.0}, daemon=True
+    )
+    thread.start()
+    try:
+        yield runner
+    finally:
+        runner.stop()
+        thread.join(timeout=10.0)
+
+
+class TestRemoteExecution:
+    def test_run_job_computed_remotely(self, service, runner):
+        _, url = service
+        client = ServiceClient(url)
+        job = client.submit("E6", quick=True)
+        finished = client.wait(job["job_id"], timeout=60.0)
+        assert finished["status"] == "done"
+        assert finished["metrics"]
+        assert finished["cached_points"] == 0
+        # The executing runner's identity is stamped into the job doc.
+        assert finished["runner_id"] == runner.runner_id
+        assert finished["runner_pid"] == runner.pid
+
+    def test_second_submit_served_from_master_cache(self, service, runner):
+        _, url = service
+        client = ServiceClient(url)
+        first = client.wait(
+            client.submit("E6", quick=True)["job_id"], timeout=60.0
+        )
+        second = client.wait(
+            client.submit("E6", quick=True, dedupe=False)["job_id"],
+            timeout=60.0,
+        )
+        assert second["status"] == "done"
+        assert second["cached_points"] == 1
+        assert second["run_ids"] == first["run_ids"]
+
+    def test_sweep_streams_points_through_the_master(self, service, runner):
+        _, url = service
+        client = ServiceClient(url)
+        job = client.submit(
+            "E6",
+            quick=True,
+            scan={"ty": "ListScan", "name": "pump_mw", "values": [4.0, 8.0]},
+        )
+        finished = client.wait(job["job_id"], timeout=120.0)
+        assert finished["status"] == "done"
+        assert finished["done_points"] == finished["total_points"] == 2
+        assert len(finished["run_ids"]) == 2
+        assert finished["runner_id"] == runner.runner_id
+
+    def test_fleet_status_over_http(self, service, runner):
+        _, url = service
+        client = ServiceClient(url)
+        client.wait(client.submit("E6", quick=True)["job_id"], timeout=60.0)
+        status = client.fleet_status()
+        assert status["counts"]["alive"] == 1
+        assert status["counts"]["leases"] == 0
+        (doc,) = status["runners"]
+        assert doc["runner_id"] == runner.runner_id
+        assert doc["completed"] >= 1
+
+    def test_runner_failure_reported_not_leaked(self, service, runner):
+        _, url = service
+        client = ServiceClient(url)
+        # E7 rejects a negative dwell time inside the driver.
+        job = client.submit("E7", quick=True, params={"dwell_s": -1.0})
+        finished = client.wait(job["job_id"], timeout=60.0)
+        assert finished["status"] == "failed"
+        assert finished["error"]["type"]
+        assert client.fleet_status()["counts"]["leases"] == 0
